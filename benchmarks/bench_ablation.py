@@ -1,0 +1,38 @@
+"""E-ABL — ablations of EulerFD's design choices (DESIGN.md §3).
+
+Disables one design element at a time — MLFQ prioritization, the double
+cycle, static capa ranges — to quantify each piece's contribution on a
+tall-narrow (adult) and short-wide (plista) workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import ablation
+
+
+@pytest.fixture(scope="module")
+def points():
+    return ablation.run_ablation()
+
+
+def test_ablation_design_choices(benchmark, points, emit):
+    emit(ablation.print_ablation, points)
+    from repro.core import EulerFD
+    from repro.datasets import registry
+
+    relation = registry.make("adult")
+    benchmark.pedantic(
+        lambda: EulerFD().discover(relation), rounds=1, iterations=1
+    )
+    by_key = {(p.dataset, p.variant): p for p in points}
+    for dataset in ablation.ABLATION_DATASETS:
+        full = by_key[(dataset, "full")]
+        single_cycle = by_key[(dataset, "single-cycle")]
+        # The double cycle only ever adds sampling work, so the full
+        # configuration compares at least as many tuple pairs and can
+        # only gain accuracy.
+        assert full.pairs_compared >= single_cycle.pairs_compared
+        assert full.f1 >= single_cycle.f1 - 0.02
+        assert full.cycles >= single_cycle.cycles

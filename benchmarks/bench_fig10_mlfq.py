@@ -1,0 +1,47 @@
+"""E-F10 — Figure 10: MLFQ parameter evaluation.
+
+Sweeps the number of feedback queues from 1 to 7 (capa ranges of
+Table IV) on adult, letter, plista and flight, reporting EulerFD's
+runtime and F1 at every setting.  Expected shape (Section V-E): accuracy
+grows with the queue count while runtime bottoms out around 6 queues.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import parameters
+
+QUEUE_COUNTS = (1, 2, 3, 4, 5, 6, 7)
+
+
+@pytest.fixture(scope="module")
+def points():
+    return parameters.mlfq_sweep(queue_counts=QUEUE_COUNTS)
+
+
+def test_fig10_mlfq_parameters(benchmark, points, emit):
+    emit(
+        parameters.print_points,
+        "Figure 10 — MLFQ parameter evaluation",
+        "queues",
+        points,
+    )
+    from repro.core import EulerFD
+    from repro.datasets import registry
+
+    relation = registry.make("adult")
+    benchmark.pedantic(
+        lambda: EulerFD().discover(relation), rounds=1, iterations=1
+    )
+    by_dataset: dict[str, list] = {}
+    for point in points:
+        by_dataset.setdefault(point.dataset, []).append(point)
+    assert set(by_dataset) == set(parameters.MLFQ_DATASETS)
+    for dataset, series in by_dataset.items():
+        series.sort(key=lambda p: p.parameter)
+        # The multi-queue configurations must not lose accuracy against
+        # the single queue (the paper: F1 increases with queue count).
+        single_queue_f1 = series[0].f1
+        best_multi_f1 = max(p.f1 for p in series[1:])
+        assert best_multi_f1 >= single_queue_f1 - 0.02, dataset

@@ -1,0 +1,86 @@
+"""E-F11 — Figure 11: growth-rate threshold evaluation.
+
+Sweeps Th_Ncover and Th_Pcover over {0.1, 0.01, 0.001, 0} on the paper's
+four representative datasets — flight (many attributes), fd-reduced-30
+(many tuples), horse (many FDs), ncvoter (moderate) — comparing EulerFD
+and AID-FD at every setting.  Expected shape (Section V-F): smaller
+thresholds cost runtime and buy accuracy, with 0.01 the elbow.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import parameters
+from repro.bench.runner import GroundTruthCache
+
+# Scaled-down rows for the heavy datasets so 2 sweeps x 4 thresholds x
+# 2 algorithms finish in minutes; shapes are unaffected.
+SWEEP_ROWS = {"flight": 400, "fd-reduced-30": 1000, "ncvoter": 500, "horse": 80}
+
+
+def run_sweep(vary: str):
+    cache = GroundTruthCache()
+    points = []
+    for dataset in parameters.THRESHOLD_DATASETS:
+        points.extend(
+            parameters.threshold_sweep(
+                thresholds=parameters.PAPER_THRESHOLDS,
+                dataset_names=(dataset,),
+                vary=vary,
+                rows=SWEEP_ROWS[dataset],
+                truth_cache=cache,
+            )
+        )
+    return points
+
+
+@pytest.fixture(scope="module")
+def ncover_points():
+    return run_sweep("ncover")
+
+
+@pytest.fixture(scope="module")
+def pcover_points():
+    return run_sweep("pcover")
+
+
+def test_fig11_th_ncover(benchmark, ncover_points, emit):
+    emit(
+        parameters.print_points,
+        "Figure 11 — Th_Ncover sweep (Th_Pcover = 0.01)",
+        "Th_Ncover",
+        ncover_points,
+    )
+    from repro.core import EulerFD
+    from repro.datasets import registry
+
+    relation = registry.make("ncvoter", rows=SWEEP_ROWS["ncvoter"])
+    benchmark.pedantic(
+        lambda: EulerFD().discover(relation), rounds=1, iterations=1
+    )
+    euler = [p for p in ncover_points if p.algorithm == "EulerFD"]
+    for dataset in parameters.THRESHOLD_DATASETS:
+        series = sorted(
+            (p for p in euler if p.dataset == dataset),
+            key=lambda p: p.parameter,
+        )
+        # Accuracy at the tightest threshold >= accuracy at the loosest.
+        assert series[0].f1 >= series[-1].f1 - 0.02, dataset
+
+
+def test_fig11_th_pcover(benchmark, pcover_points, emit):
+    emit(
+        parameters.print_points,
+        "Figure 11 — Th_Pcover sweep (Th_Ncover = 0.01)",
+        "Th_Pcover",
+        pcover_points,
+    )
+    from repro.core import EulerFD
+    from repro.datasets import registry
+
+    relation = registry.make("flight", rows=SWEEP_ROWS["flight"])
+    benchmark.pedantic(
+        lambda: EulerFD().discover(relation), rounds=1, iterations=1
+    )
+    assert {p.algorithm for p in pcover_points} == {"EulerFD", "AID-FD"}

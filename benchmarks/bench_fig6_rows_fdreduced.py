@@ -1,0 +1,53 @@
+"""E-F6 — Figure 6: row scalability on fd-reduced-30.
+
+The paper sweeps 50k..250k rows; the scaled sweep keeps the 30-column
+schema and grows rows geometrically, reporting the same series: runtime
+per algorithm and the number of FDs.  The headline shape: EulerFD scales
+almost linearly with rows and beats AID-FD throughout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import scalability
+
+ALGORITHMS = ("Tane", "HyFD", "AID-FD", "EulerFD")
+ROW_COUNTS = (500, 1000, 2000, 4000)
+
+
+@pytest.fixture(scope="module")
+def series():
+    return scalability.row_scalability(
+        "fd-reduced-30", ROW_COUNTS, algorithm_names=ALGORITHMS, columns=30
+    )
+
+
+def test_fig6_row_scalability(benchmark, series, emit):
+    emit(
+        scalability.print_sweep,
+        "Figure 6 — row scalability on fd-reduced-30",
+        "rows",
+        series,
+        ALGORITHMS,
+    )
+    from repro.core import EulerFD
+    from repro.datasets import registry
+
+    relation = registry.make("fd-reduced-30", rows=ROW_COUNTS[-1], columns=30)
+    benchmark.pedantic(
+        lambda: EulerFD().discover(relation), rounds=1, iterations=1
+    )
+    for point in series:
+        assert point.runs["EulerFD"].ok
+        assert point.runs["AID-FD"].ok
+    # EulerFD's runtime grows sub-quadratically across the sweep.
+    first, last = series[0], series[-1]
+    ratio = last.runs["EulerFD"].seconds / max(first.runs["EulerFD"].seconds, 1e-9)
+    rows_ratio = last.x / first.x
+    assert ratio < rows_ratio**2
+    # At the largest point EulerFD is at least competitive with AID-FD.
+    assert (
+        last.runs["EulerFD"].seconds
+        <= last.runs["AID-FD"].seconds * 1.5
+    )

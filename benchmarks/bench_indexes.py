@@ -1,0 +1,82 @@
+"""E-ABL (index structures) — the extended binary tree vs the FD-tree.
+
+Section IV-D motivates the extended binary tree over the classic FD-tree
+("consumes less memory while quickly searching for specializations and
+generalizations").  This benchmark replays an identical inversion
+workload — the negative cover EulerFD collects on the plista workload —
+against all three LhsIndex implementations and times them; covers must
+come out identical.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.inversion import Inverter
+from repro.datasets import registry
+from repro.fd import (
+    FD,
+    BinaryLhsTree,
+    BitsetLhsIndex,
+    FDTreeIndex,
+    NegativeCover,
+    covers,
+)
+
+FACTORIES = {
+    "binary-tree": BinaryLhsTree,
+    "fd-tree": FDTreeIndex,
+    "bitset": BitsetLhsIndex,
+}
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """The exact non-FD stream of one EulerFD run on plista."""
+    from repro.core import EulerFDConfig
+    from repro.core.sampler import SamplingModule
+    from repro.relation import preprocess
+
+    relation = registry.make("plista", rows=400, columns=20)
+    data = preprocess(relation)
+    sampler = SamplingModule(data, EulerFDConfig())
+    non_fds: list[FD] = []
+    for attribute in range(data.num_columns):
+        if data.cardinality(attribute) > 1:
+            non_fds.append(FD(0, attribute))
+    while sampler.has_more():
+        violations, stats = sampler.run_pass()
+        if stats.pairs_compared == 0:
+            break
+        for agree, novel in violations:
+            remaining = novel
+            while remaining:
+                bit = remaining & -remaining
+                remaining ^= bit
+                non_fds.append(FD(agree, bit.bit_length() - 1))
+    return data.num_columns, non_fds
+
+
+def invert_with(factory, num_columns, non_fds):
+    original = covers.default_index_factory
+    covers.default_index_factory = factory
+    try:
+        ncover = NegativeCover(num_columns)
+        inverter = Inverter(num_columns)
+        admitted = [fd for fd in non_fds if ncover.add(fd)]
+        inverter.process(admitted)
+        return frozenset(inverter.pcover)
+    finally:
+        covers.default_index_factory = original
+
+
+@pytest.mark.parametrize("index_name", list(FACTORIES))
+def test_inversion_with_index(benchmark, workload, index_name):
+    num_columns, non_fds = workload
+    result = benchmark.pedantic(
+        lambda: invert_with(FACTORIES[index_name], num_columns, non_fds),
+        rounds=1,
+        iterations=1,
+    )
+    reference = invert_with(BinaryLhsTree, num_columns, non_fds)
+    assert result == reference  # all indexes must agree exactly

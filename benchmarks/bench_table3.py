@@ -1,0 +1,114 @@
+"""E-T3 — Table III: overall performance on the 19 benchmark datasets.
+
+Regenerates the paper's headline table at the registry's scaled-down
+workload sizes: runtimes for Tane / Fdep / HyFD / AID-FD / EulerFD plus
+FD counts and F1 scores for the two approximate algorithms.  ML/TL cells
+mirror the paper's budget blow-ups (Tane on wide schemas, Fdep on tall
+relations, everything but EulerFD on uniprot).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import overall
+from repro.datasets import registry
+
+# Datasets where every baseline is feasible at bench scale; uniprot joins
+# the table with its paper-faithful ML/TL markers via the skip rules.
+SMALL = [
+    "iris", "balance-scale", "chess", "abalone", "nursery",
+    "breast-cancer", "bridges", "echocardiogram", "adult",
+]
+LARGE = [
+    "lineitem", "letter", "weather", "ncvoter", "hepatitis",
+    "horse", "fd-reduced-30", "plista", "flight", "uniprot",
+]
+
+
+@pytest.fixture(scope="module")
+def table3_small():
+    return overall.run_table3(dataset_names=SMALL)
+
+
+@pytest.fixture(scope="module")
+def table3_large():
+    return overall.run_table3(dataset_names=LARGE)
+
+
+def test_table3_small_datasets(benchmark, table3_small, emit):
+    emit(overall.print_table3, table3_small)
+    relation = registry.make("adult")
+    from repro.core import EulerFD
+
+    benchmark.pedantic(
+        lambda: EulerFD().discover(relation), rounds=1, iterations=1
+    )
+    scores = []
+    for row in table3_small:
+        euler = row.runs["EulerFD"]
+        assert euler.ok, row.dataset
+        assert row.f1["EulerFD"] is not None
+        scores.append(row.f1["EulerFD"])
+        # Datasets with a handful of true FDs make F1 hypersensitive to a
+        # single overclaim; require solid accuracy per dataset and high
+        # accuracy on average (Table III shows >= 0.975 everywhere).
+        assert row.f1["EulerFD"] >= 0.6, (row.dataset, row.f1)
+    assert sum(scores) / len(scores) >= 0.9
+
+
+def test_table3_large_datasets(benchmark, table3_large, emit):
+    emit(overall.print_table3, table3_large)
+    relation = registry.make("lineitem")
+    from repro.core import EulerFD
+
+    benchmark.pedantic(
+        lambda: EulerFD().discover(relation), rounds=1, iterations=1
+    )
+    # EulerFD processes every dataset — the paper's distinguishing claim.
+    for row in table3_large:
+        assert row.runs["EulerFD"].ok, row.dataset
+    # EulerFD beats AID-FD on accuracy (or ties) dataset by dataset.
+    for row in table3_large:
+        euler_f1 = row.f1.get("EulerFD")
+        aid_f1 = row.f1.get("AID-FD")
+        if euler_f1 is not None and aid_f1 is not None:
+            assert euler_f1 >= aid_f1 - 0.05, (row.dataset, euler_f1, aid_f1)
+
+
+def test_table3_uniprot_full_width(benchmark, emit):
+    """The uniprot row of Table III at the paper's full 223-column width:
+    lattice traversal blows its memory budget within seconds — 'exact
+    discovery algorithms cannot deal with datasets with more than 223
+    columns' (Section V-G) — while EulerFD processes the dataset at the
+    scaled bench width.
+
+    (The synthetic full-width stand-in carries vastly more minimal FDs
+    than real uniprot, whose 223 columns are highly correlated, so the
+    EulerFD leg runs at the registry's bench width; see EXPERIMENTS.md.)
+    """
+    from repro.algorithms import Tane
+    from repro.bench.runner import print_table, run_algorithm
+    from repro.core import EulerFD
+
+    full_width = registry.make("uniprot", rows=120, columns=223)
+    tane = run_algorithm(lambda: Tane(max_level_width=200_000), full_width)
+    assert not tane.ok and tane.skipped == "ML"
+    bench_width = registry.make("uniprot")
+    euler = benchmark.pedantic(
+        lambda: EulerFD().discover(bench_width), rounds=1, iterations=1
+    )
+    assert len(euler.fds) > 0
+    emit(
+        print_table,
+        "Table III — the uniprot story (full width vs bench width)",
+        ["Algorithm", "Width", "Outcome"],
+        [
+            ["Tane", "223 columns", tane.skipped or f"{tane.seconds:.2f}s"],
+            [
+                "EulerFD",
+                f"{bench_width.num_columns} columns",
+                f"{euler.runtime_seconds:.2f}s, {len(euler.fds)} FDs",
+            ],
+        ],
+    )

@@ -1,0 +1,41 @@
+"""E-T5 — Table V: the DMS fleet comparison.
+
+Runs EulerFD and AID-FD over the simulated dataset fleet (seeded stand-in
+for the 500 578 production datasets of Section V-G) and reports the same
+size-weighted ratios the paper tabulates: τe (runtime, < 1 means EulerFD
+faster) and τa (F1, > 1 means EulerFD more accurate) per rows x columns
+bucket.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import dms
+
+
+@pytest.fixture(scope="module")
+def report():
+    return dms.run_dms(datasets_per_bucket=2)
+
+
+def test_table5_dms_fleet(benchmark, report, emit):
+    emit(dms.print_dms, report)
+    from repro.core import EulerFD
+    from repro.datasets.dms import fleet
+
+    member = next(iter(fleet(datasets_per_bucket=1)))
+    benchmark.pedantic(
+        lambda: EulerFD().discover(member.relation), rounds=1, iterations=1
+    )
+    assert report.grid, "the fleet must cover at least one bucket"
+    taus_e = [c.tau_e for c in report.grid.values() if c.tau_e is not None]
+    taus_a = [c.tau_a for c in report.grid.values() if c.tau_a is not None]
+    assert taus_e, "every bucket has runtimes"
+    assert taus_a, "small buckets have exact ground truth"
+    # Aggregate shape of Table V: EulerFD is overall at least as accurate
+    # as AID-FD (τa >= ~1 on average) and not dramatically slower.
+    mean_tau_a = sum(taus_a) / len(taus_a)
+    assert mean_tau_a >= 0.98
+    mean_tau_e = sum(taus_e) / len(taus_e)
+    assert mean_tau_e <= 2.5

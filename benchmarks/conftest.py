@@ -1,0 +1,49 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one table or figure of the paper (see
+DESIGN.md §3).  Results are printed to the *real* stdout — bypassing
+pytest's capture so ``pytest benchmarks/ --benchmark-only | tee ...``
+records the tables — and archived under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import sys
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def emit(results_dir, request, capfd):
+    """Render a harness print function to real stdout + a results file.
+
+    pytest's default fd-level capture swallows even direct writes to the
+    underlying descriptor, so the write happens inside
+    ``capfd.disabled()`` — the tables then reach the terminal (and any
+    ``tee``) live.
+    """
+
+    def _emit(printer, *args, **kwargs) -> str:
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            printer(*args, **kwargs)
+        text = buffer.getvalue()
+        with capfd.disabled():
+            sys.stdout.write(text)
+            sys.stdout.flush()
+        target = results_dir / f"{request.node.name}.txt"
+        target.write_text(text)
+        return text
+
+    return _emit

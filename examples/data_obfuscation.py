@@ -1,0 +1,84 @@
+"""The DMS data-obfuscation workflow (Section I of the paper).
+
+Alibaba Cloud's Data Management Service uses FD discovery to protect
+sensitive data in three steps:
+
+1. domain experts label sensitive attributes (here: Age and Gender);
+2. FD discovery finds the *underlying sensitive attributes* — unlabeled
+   attributes that (transitively) determine a labeled one;
+3. both groups are obfuscated (masked) before data leaves the service.
+
+This example runs the full pipeline on the patient dataset: discover FDs
+with EulerFD, chase determinants through the FD closure, and emit a
+masked copy of the relation.
+
+Run with:  python examples/data_obfuscation.py
+"""
+
+from __future__ import annotations
+
+from repro import EulerFD, datasets
+from repro.fd import inference
+from repro.relation import Relation
+
+
+def find_underlying_sensitive(
+    relation: Relation, sensitive: list[str]
+) -> tuple[set[str], list[str]]:
+    """Step 2: attributes that determine a sensitive attribute via FDs."""
+    result = EulerFD().discover(relation)
+    fds = list(result.fds)
+    underlying: set[str] = set()
+    explanations: list[str] = []
+    for attribute in sensitive:
+        target = relation.column_index(attribute)
+        determinants = inference.determinants_of(
+            target, fds, relation.num_columns
+        )
+        for index in determinants:
+            name = relation.column_names[index]
+            if name not in sensitive:
+                underlying.add(name)
+                explanations.append(f"{name} helps determine {attribute}")
+    return underlying, explanations
+
+
+def mask_columns(relation: Relation, to_mask: set[str]) -> Relation:
+    """Step 3: replace protected values with deterministic tokens."""
+    masked_columns = []
+    for name, column in zip(relation.column_names, relation.columns):
+        if name in to_mask:
+            tokens = {}
+            masked = tuple(
+                f"tok#{tokens.setdefault(value, len(tokens))}"
+                for value in column
+            )
+            masked_columns.append(masked)
+        else:
+            masked_columns.append(column)
+    return Relation(
+        relation.column_names, tuple(masked_columns), f"{relation.name}-masked"
+    )
+
+
+def main() -> None:
+    relation = datasets.patients()
+    sensitive = ["Age", "Gender"]
+    print(f"Labeled sensitive attributes: {sensitive}")
+
+    underlying, explanations = find_underlying_sensitive(relation, sensitive)
+    print(f"Underlying sensitive attributes found via FDs: {sorted(underlying)}")
+    for line in explanations:
+        print(f"  - {line}")
+
+    protected = set(sensitive) | underlying
+    masked = mask_columns(relation, protected)
+    print(f"\nMasked relation ({', '.join(sorted(protected))} tokenized):")
+    header = " | ".join(f"{name:14s}" for name in masked.column_names)
+    print(f"  {header}")
+    for row in masked.iter_rows():
+        print("  " + " | ".join(f"{str(value):14s}" for value in row))
+
+
+if __name__ == "__main__":
+    main()

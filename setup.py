@@ -1,0 +1,7 @@
+"""Legacy shim: enables `python setup.py develop` on offline machines
+where pip's build isolation cannot fetch setuptools/wheel.  All project
+metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

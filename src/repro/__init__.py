@@ -1,0 +1,65 @@
+"""EulerFD — an efficient double-cycle approximation of functional
+dependencies (ICDE 2023), reproduced in pure Python.
+
+Quickstart::
+
+    from repro import EulerFD, datasets
+
+    result = EulerFD().discover(datasets.patients())
+    for line in result.format_fds():
+        print(line)
+
+The package is organized as:
+
+* :mod:`repro.core` — the EulerFD algorithm (sampling MLFQ, negative
+  cover, inversion, double cycle) and its configuration;
+* :mod:`repro.algorithms` — the exact and approximate baselines the paper
+  compares against (Tane, Fdep, HyFD, AID-FD, ...);
+* :mod:`repro.fd` — FD value types, cover data structures, inference;
+* :mod:`repro.relation` — relations, preprocessing, partitions, CSV I/O;
+* :mod:`repro.datasets` — seeded generators for the paper's benchmarks;
+* :mod:`repro.metrics` — F1 accuracy and timing;
+* :mod:`repro.bench` — the harness regenerating every table and figure.
+"""
+
+from . import algorithms, datasets, fd, metrics, relation
+from .algorithms import available_algorithms, create
+from .algorithms.ucc import discover_uccs
+from .core import DiscoveryResult, EulerFD, EulerFDConfig, MlfqPolicy
+from .fd import FD
+from .profile import RelationProfile, profile_relation
+from .relation import Relation, read_csv
+
+__version__ = "1.0.0"
+
+
+def discover_fds(relation: Relation, algorithm: str = "eulerfd") -> DiscoveryResult:
+    """Discover the non-trivial minimal FDs of ``relation``.
+
+    ``algorithm`` is any key from :func:`available_algorithms`; the
+    default runs EulerFD with the paper's recommended configuration.
+    """
+    return create(algorithm).discover(relation)
+
+
+__all__ = [
+    "DiscoveryResult",
+    "EulerFD",
+    "EulerFDConfig",
+    "FD",
+    "MlfqPolicy",
+    "Relation",
+    "RelationProfile",
+    "algorithms",
+    "available_algorithms",
+    "create",
+    "datasets",
+    "discover_fds",
+    "discover_uccs",
+    "fd",
+    "metrics",
+    "profile_relation",
+    "read_csv",
+    "relation",
+    "__version__",
+]

@@ -1,0 +1,54 @@
+"""Common interface and registry for FD-discovery algorithms.
+
+Every algorithm — EulerFD itself, the exact baselines (Tane, Fdep, HyFD,
+Dep-Miner, FastFDs, brute force) and the approximate baseline AID-FD —
+consumes a :class:`~repro.relation.relation.Relation` and produces a
+:class:`~repro.core.result.DiscoveryResult` holding the non-trivial
+minimal FDs, so benchmarks and metrics treat them uniformly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Protocol, runtime_checkable
+
+from ..core.result import DiscoveryResult
+from ..relation.relation import Relation
+
+
+@runtime_checkable
+class FDAlgorithm(Protocol):
+    """An FD discovery algorithm."""
+
+    name: str
+
+    def discover(self, relation: Relation) -> DiscoveryResult:
+        """Discover the non-trivial minimal FDs of ``relation``."""
+
+
+_REGISTRY: dict[str, Callable[[], FDAlgorithm]] = {}
+
+
+def register(key: str) -> Callable[[type], type]:
+    """Class decorator registering a zero-argument-constructible algorithm."""
+
+    def decorate(cls: type) -> type:
+        _REGISTRY[key] = cls
+        return cls
+
+    return decorate
+
+
+def available_algorithms() -> list[str]:
+    """Registered algorithm keys, sorted."""
+    return sorted(_REGISTRY)
+
+def create(key: str) -> FDAlgorithm:
+    """Instantiate a registered algorithm with its default configuration."""
+    try:
+        factory = _REGISTRY[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {key!r}; available: {available_algorithms()}"
+        ) from None
+    return factory()

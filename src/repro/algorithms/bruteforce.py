@@ -1,0 +1,62 @@
+"""Exhaustive FD discovery — the ground-truth oracle for small inputs.
+
+Checks every candidate ``X -> A`` by hashing rows on their ``X`` labels.
+Exponential in the number of attributes (``O(2^m * m * n)``), so it exists
+purely to validate the real algorithms on small relations in the test
+suite; it refuses schemas wide enough to be a mistake.
+"""
+
+from __future__ import annotations
+
+from ..core.result import DiscoveryResult, Stopwatch, make_result
+from ..fd import FD, attrset
+from ..relation.preprocess import preprocess
+from ..relation.relation import Relation
+from ..relation.validate import fd_holds
+from .base import register
+
+
+@register("bruteforce")
+class BruteForce:
+    """Candidate-by-candidate verification over the whole lattice."""
+
+    name = "BruteForce"
+
+    def __init__(self, max_columns: int = 14, null_equals_null: bool = True) -> None:
+        self.max_columns = max_columns
+        self.null_equals_null = null_equals_null
+
+    def discover(self, relation: Relation) -> DiscoveryResult:
+        if relation.num_columns > self.max_columns:
+            raise ValueError(
+                f"BruteForce is an oracle for <= {self.max_columns} columns; "
+                f"got {relation.num_columns}"
+            )
+        watch = Stopwatch()
+        data = preprocess(relation, self.null_equals_null)
+        num_attributes = data.num_columns
+        fds: list[FD] = []
+        checks = 0
+        for rhs in range(num_attributes):
+            others = attrset.universe(num_attributes) & ~attrset.singleton(rhs)
+            valid_lhss: list[int] = []
+            # Ascending cardinality so minimality reduces to a subset check
+            # against already-accepted LHSs.
+            candidates = sorted(attrset.all_subsets(others), key=attrset.size)
+            for lhs in candidates:
+                if any(attrset.is_subset(seen, lhs) for seen in valid_lhss):
+                    continue
+                checks += 1
+                if fd_holds(data, FD(lhs, rhs)):
+                    valid_lhss.append(lhs)
+            fds.extend(FD(lhs, rhs) for lhs in valid_lhss)
+        return make_result(
+            fds,
+            self.name,
+            relation.name,
+            relation.num_rows,
+            num_attributes,
+            relation.column_names,
+            watch,
+            stats={"validations": checks},
+        )

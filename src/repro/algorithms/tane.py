@@ -1,0 +1,240 @@
+"""Tane — level-wise lattice traversal with stripped partitions [14].
+
+The representative exact lattice-traversal baseline.  Candidate LHSs are
+visited level by level; validity of ``X\\{A} -> A`` is decided by comparing
+equivalence-class counts of the stripped partitions ``π(X\\{A})`` and
+``π(X)`` (Definition 7 — the class counts of the corresponding *full*
+partitions are recovered from the stripped form).  The classic RHS⁺
+candidate sets (``C+``) provide minimality pruning, and the key-pruning
+rule removes superkeys from the lattice while emitting their remaining
+dependencies.
+
+Partitions of level ``l`` are derived from level ``l-1`` via the linear
+product operation in :class:`~repro.relation.partition.StrippedPartition`.
+Memory therefore scales with the width of two adjacent lattice levels —
+the reason Tane hits the paper's 32 GB memory limit on wide relations
+(Table III), reproduced here as a configurable ``max_level``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from ..core.result import DiscoveryResult, Stopwatch, make_result
+from ..fd import FD, attrset
+from ..relation.partition import StrippedPartition
+from ..relation.preprocess import preprocess
+from ..relation.relation import Relation
+from .base import register
+
+
+class TaneBudgetExceeded(RuntimeError):
+    """Raised when the lattice grows beyond the configured budget."""
+
+
+@register("tane")
+class Tane:
+    """Exact level-wise FD discovery."""
+
+    name = "Tane"
+
+    def __init__(
+        self,
+        null_equals_null: bool = True,
+        max_level: int | None = None,
+        max_level_width: int | None = None,
+    ) -> None:
+        self.null_equals_null = null_equals_null
+        self.max_level = max_level
+        self.max_level_width = max_level_width
+
+    def discover(self, relation: Relation) -> DiscoveryResult:
+        watch = Stopwatch()
+        data = preprocess(relation, self.null_equals_null)
+        num_attributes = data.num_columns
+        num_rows = data.num_rows
+        universe = attrset.universe(num_attributes)
+        fds: list[FD] = []
+
+        # π(∅): one class holding every tuple (empty when it could not
+        # possibly violate anything, i.e. fewer than two rows).
+        empty_partition = StrippedPartition(
+            [tuple(range(num_rows))] if num_rows > 1 else [], num_rows
+        )
+        partitions: dict[int, StrippedPartition] = {attrset.EMPTY: empty_partition}
+        for attribute in range(num_attributes):
+            partitions[attrset.singleton(attribute)] = data.stripped[attribute]
+
+        cplus: dict[int, int] = {attrset.EMPTY: universe}
+        level: list[int] = [attrset.singleton(a) for a in range(num_attributes)]
+        level_number = 1
+        validations = 0
+
+        while level:
+            if self.max_level is not None and level_number > self.max_level:
+                raise TaneBudgetExceeded(
+                    f"lattice level {level_number} exceeds max_level="
+                    f"{self.max_level}"
+                )
+            if (
+                self.max_level_width is not None
+                and len(level) > self.max_level_width
+            ):
+                raise TaneBudgetExceeded(
+                    f"lattice level {level_number} holds {len(level)} nodes, "
+                    f"exceeding max_level_width={self.max_level_width}"
+                )
+            # -- COMPUTE_DEPENDENCIES -----------------------------------
+            level_cplus: dict[int, int] = {}
+            for lhs in level:
+                candidates = universe
+                for subset in attrset.subsets_one_smaller(lhs):
+                    candidates &= cplus.get(subset, 0)
+                level_cplus[lhs] = candidates
+            for lhs in level:
+                candidates = level_cplus[lhs] & lhs
+                remaining = candidates
+                while remaining:
+                    bit = remaining & -remaining
+                    remaining ^= bit
+                    rhs = bit.bit_length() - 1
+                    generalization = lhs ^ bit
+                    validations += 1
+                    if (
+                        partitions[generalization].num_classes_full
+                        == partitions[lhs].num_classes_full
+                    ):
+                        fds.append(FD(generalization, rhs))
+                        level_cplus[lhs] &= ~bit
+                        level_cplus[lhs] &= lhs  # drop all of R \ X
+            # -- PRUNE ------------------------------------------------------
+            pruned: list[int] = []
+            for lhs in level:
+                if level_cplus[lhs] == 0:
+                    continue
+                if partitions[lhs].is_superkey():
+                    # A superkey determines every attribute; emit the
+                    # minimal dependencies and drop the node (supersets of
+                    # a superkey can never carry a minimal FD).
+                    remaining = level_cplus[lhs] & ~lhs
+                    while remaining:
+                        bit = remaining & -remaining
+                        remaining ^= bit
+                        rhs = bit.bit_length() - 1
+                        validations += 1
+                        if self._key_fd_is_minimal(lhs, rhs, partitions):
+                            fds.append(FD(lhs, rhs))
+                    continue
+                pruned.append(lhs)
+            # -- GENERATE_NEXT_LEVEL ---------------------------------------
+            next_level, next_partitions = self._next_level(
+                pruned, partitions, self.max_level_width
+            )
+            cplus = level_cplus
+            partitions = self._retain_partitions(partitions, next_partitions, pruned)
+            level = next_level
+            level_number += 1
+
+        return make_result(
+            fds,
+            self.name,
+            relation.name,
+            relation.num_rows,
+            num_attributes,
+            relation.column_names,
+            watch,
+            stats={"validations": validations, "levels": level_number - 1},
+        )
+
+    @staticmethod
+    def _key_fd_is_minimal(
+        lhs: int, rhs: int, partitions: dict[int, StrippedPartition]
+    ) -> bool:
+        """Direct minimality test for the key-pruning output rule.
+
+        The paper's original rule intersects RHS⁺ sets of sibling lattice
+        nodes which may never have been generated (their sub-lattice was
+        key-pruned away earlier); treating those as empty silently drops
+        minimal FDs.  ``X -> A`` with superkey ``X`` is minimal iff no
+        immediate generalization ``X \\ {B} -> A`` holds — validity is
+        monotone in the LHS — and each such check only needs π(X \\ {B})
+        (retained: a survivor of the previous level) refined by the
+        singleton partition π(A).
+        """
+        rhs_partition = partitions[attrset.singleton(rhs)]
+        remaining = lhs
+        while remaining:
+            bit = remaining & -remaining
+            remaining ^= bit
+            generalization = lhs ^ bit
+            base = partitions[generalization]
+            joint = base.product(rhs_partition)
+            if joint.num_classes_full == base.num_classes_full:
+                return False
+        return True
+
+    @staticmethod
+    def _next_level(
+        level: list[int],
+        partitions: dict[int, StrippedPartition],
+        max_width: int | None,
+    ) -> tuple[list[int], dict[int, StrippedPartition]]:
+        """Prefix-block join: combine nodes differing in their last attribute.
+
+        The width budget is enforced *while generating*, before partition
+        products are materialized — a level that would blow the budget
+        must not first allocate millions of partitions (this is the "ML"
+        the paper reports for Tane on wide schemas).
+        """
+        level_set = set(level)
+        blocks: dict[int, list[int]] = {}
+        for lhs in level:
+            highest = 1 << (lhs.bit_length() - 1)
+            blocks.setdefault(lhs ^ highest, []).append(lhs)
+        candidates: list[tuple[int, int, int]] = []
+        for members in blocks.values():
+            members.sort()
+            for left, right in combinations(members, 2):
+                candidate = left | right
+                if any(
+                    subset not in level_set
+                    for subset in attrset.subsets_one_smaller(candidate)
+                ):
+                    continue
+                candidates.append((candidate, left, right))
+                if max_width is not None and len(candidates) > max_width:
+                    raise TaneBudgetExceeded(
+                        f"next lattice level exceeds max_level_width="
+                        f"{max_width} during generation"
+                    )
+        next_level: list[int] = []
+        next_partitions: dict[int, StrippedPartition] = {}
+        for candidate, left, right in candidates:
+            next_level.append(candidate)
+            next_partitions[candidate] = partitions[left].product(
+                partitions[right]
+            )
+        next_level.sort()
+        return next_level, next_partitions
+
+    @staticmethod
+    def _retain_partitions(
+        current: dict[int, StrippedPartition],
+        upcoming: dict[int, StrippedPartition],
+        survivors: list[int],
+    ) -> dict[int, StrippedPartition]:
+        """Keep the partitions validity checks at the next level will read.
+
+        Level ``l+1`` compares ``π(X)`` with ``π(X \\ {A})``; the latter
+        are exactly the surviving nodes of the current level.  The empty
+        and singleton partitions are kept forever — key-pruning minimality
+        checks refine against singletons at every level.
+        """
+        retained = {
+            mask: partition
+            for mask, partition in current.items()
+            if mask.bit_count() <= 1
+        }
+        retained.update((lhs, current[lhs]) for lhs in survivors)
+        retained.update(upcoming)
+        return retained

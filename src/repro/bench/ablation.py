@@ -1,0 +1,100 @@
+"""Experiment E-ABL: ablations of EulerFD's design choices.
+
+The paper attributes EulerFD's edge to (1) the MLFQ-guided sampling range,
+(2) the double-cycle re-sampling structure, and (3) contribution-aware
+scheduling generally; Section VI proposes dynamic capa ranges as future
+work.  Each ablation disables or replaces exactly one of those pieces so
+the contribution of each is measurable:
+
+* ``single-queue``  — 1 MLFQ queue: scheduling degenerates to round-robin,
+  isolating the value of capa-based prioritization;
+* ``single-cycle``  — ``max_cycles=1``: one sampling phase, one inversion,
+  no feedback from ``GR_Pcover`` (the AID-FD control structure on top of
+  EulerFD's sampler);
+* ``adaptive``      — the future-work dynamic re-division of capa ranges;
+* ``full``          — the paper's recommended configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from collections.abc import Sequence
+
+from ..core.config import EulerFDConfig
+from ..core.eulerfd import EulerFD
+from ..datasets import registry
+from ..metrics import fd_set_metrics, timed
+from .runner import GroundTruthCache, format_cell, print_table
+
+ABLATION_DATASETS = ("adult", "plista")
+"""Representative tall-and-narrow / short-and-wide workloads."""
+
+
+def variants() -> dict[str, EulerFDConfig]:
+    """The ablated configurations, keyed by variant name."""
+    base = EulerFDConfig()
+    return {
+        "full": base,
+        "single-queue": base.with_queues(1),
+        "single-cycle": replace(base, max_cycles=1),
+        "adaptive": replace(
+            base, mlfq=replace(base.mlfq, adaptive=True)
+        ),
+    }
+
+
+@dataclass
+class AblationPoint:
+    """One (dataset, variant) measurement."""
+
+    dataset: str
+    variant: str
+    seconds: float
+    f1: float
+    fd_count: int
+    pairs_compared: int
+    cycles: int
+
+
+def run_ablation(
+    dataset_names: Sequence[str] = ABLATION_DATASETS,
+    rows: int | None = None,
+    truth_cache: GroundTruthCache | None = None,
+) -> list[AblationPoint]:
+    cache = truth_cache if truth_cache is not None else GroundTruthCache()
+    points: list[AblationPoint] = []
+    for name in dataset_names:
+        relation = registry.make(name, rows=rows)
+        truth = cache.truth_for(relation)
+        for variant, config in variants().items():
+            run = timed(lambda: EulerFD(config).discover(relation))
+            result = run.value
+            points.append(
+                AblationPoint(
+                    dataset=name,
+                    variant=variant,
+                    seconds=run.seconds,
+                    f1=fd_set_metrics(result.fds, truth).f1,
+                    fd_count=len(result.fds),
+                    pairs_compared=result.stats["pairs_compared"],
+                    cycles=result.stats["cycles"],
+                )
+            )
+    return points
+
+
+def print_ablation(points: list[AblationPoint]) -> None:
+    header = ["Dataset", "Variant", "Time[s]", "F1", "FDs", "Pairs", "Cycles"]
+    rows = [
+        [
+            point.dataset,
+            point.variant,
+            format_cell(point.seconds),
+            format_cell(point.f1),
+            str(point.fd_count),
+            str(point.pairs_compared),
+            str(point.cycles),
+        ]
+        for point in points
+    ]
+    print_table("Ablation — EulerFD design choices", header, rows)

@@ -1,0 +1,139 @@
+"""Experiments E-F10 and E-F11: parameter studies (Figures 10 and 11).
+
+Figure 10 varies the number of MLFQ queues (with the capa ranges of
+Table IV) on adult, letter, plista and flight, reporting runtime and F1.
+Figure 11 varies the two growth-rate thresholds over {0.1, 0.01, 0.001, 0}
+on flight, fd-reduced-30, ncvoter and horse, comparing EulerFD against
+AID-FD at every setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from ..algorithms import AidFd
+from ..core.config import EulerFDConfig
+from ..core.eulerfd import EulerFD
+from ..datasets import registry
+from ..metrics import fd_set_metrics, timed
+from .runner import GroundTruthCache, format_cell, print_table
+
+MLFQ_DATASETS = ("adult", "letter", "plista", "flight")
+"""The four datasets of Figure 10."""
+
+THRESHOLD_DATASETS = ("flight", "fd-reduced-30", "ncvoter", "horse")
+"""The four datasets of Figure 11."""
+
+PAPER_THRESHOLDS = (0.1, 0.01, 0.001, 0.0)
+"""Threshold settings evaluated in Figure 11."""
+
+
+@dataclass
+class ParameterPoint:
+    """One (dataset, parameter value) measurement."""
+
+    dataset: str
+    parameter: float
+    algorithm: str
+    seconds: float
+    f1: float
+    fd_count: int
+
+
+def mlfq_sweep(
+    queue_counts: Sequence[int] = (1, 2, 3, 4, 5, 6, 7),
+    dataset_names: Sequence[str] = MLFQ_DATASETS,
+    rows: int | None = None,
+    truth_cache: GroundTruthCache | None = None,
+) -> list[ParameterPoint]:
+    """Figure 10: EulerFD runtime and F1 versus the number of MLFQ queues."""
+    cache = truth_cache if truth_cache is not None else GroundTruthCache()
+    points: list[ParameterPoint] = []
+    for name in dataset_names:
+        relation = registry.make(name, rows=rows)
+        truth = cache.truth_for(relation)
+        for queues in queue_counts:
+            config = EulerFDConfig().with_queues(queues)
+            run = timed(lambda: EulerFD(config).discover(relation))
+            points.append(
+                ParameterPoint(
+                    dataset=name,
+                    parameter=float(queues),
+                    algorithm="EulerFD",
+                    seconds=run.seconds,
+                    f1=fd_set_metrics(run.value.fds, truth).f1,
+                    fd_count=len(run.value.fds),
+                )
+            )
+    return points
+
+
+def threshold_sweep(
+    thresholds: Sequence[float] = PAPER_THRESHOLDS,
+    dataset_names: Sequence[str] = THRESHOLD_DATASETS,
+    vary: str = "ncover",
+    rows: int | None = None,
+    truth_cache: GroundTruthCache | None = None,
+) -> list[ParameterPoint]:
+    """Figure 11: EulerFD and AID-FD versus the stopping thresholds.
+
+    ``vary`` selects which threshold sweeps: ``"ncover"`` varies
+    ``Th_Ncover`` with ``Th_Pcover`` pinned to 0.01 and vice versa for
+    ``"pcover"`` — exactly the protocol of Section V-F.  AID-FD has only
+    the one (negative cover) threshold; it appears in both sweeps as the
+    paper plots it in both.
+    """
+    if vary not in {"ncover", "pcover"}:
+        raise ValueError(f"vary must be 'ncover' or 'pcover', got {vary!r}")
+    cache = truth_cache if truth_cache is not None else GroundTruthCache()
+    points: list[ParameterPoint] = []
+    for name in dataset_names:
+        relation = registry.make(name, rows=rows)
+        truth = cache.truth_for(relation)
+        for threshold in thresholds:
+            if vary == "ncover":
+                config = EulerFDConfig().with_thresholds(th_ncover=threshold)
+            else:
+                config = EulerFDConfig().with_thresholds(th_pcover=threshold)
+            euler_run = timed(lambda: EulerFD(config).discover(relation))
+            points.append(
+                ParameterPoint(
+                    dataset=name,
+                    parameter=threshold,
+                    algorithm="EulerFD",
+                    seconds=euler_run.seconds,
+                    f1=fd_set_metrics(euler_run.value.fds, truth).f1,
+                    fd_count=len(euler_run.value.fds),
+                )
+            )
+            aid_run = timed(lambda: AidFd(threshold=threshold).discover(relation))
+            points.append(
+                ParameterPoint(
+                    dataset=name,
+                    parameter=threshold,
+                    algorithm="AID-FD",
+                    seconds=aid_run.seconds,
+                    f1=fd_set_metrics(aid_run.value.fds, truth).f1,
+                    fd_count=len(aid_run.value.fds),
+                )
+            )
+    return points
+
+
+def print_points(title: str, parameter_label: str, points: list[ParameterPoint]) -> None:
+    header = [
+        "Dataset", parameter_label, "Algorithm", "Time[s]", "F1", "FDs",
+    ]
+    rows = [
+        [
+            point.dataset,
+            format_cell(point.parameter, precision=4),
+            point.algorithm,
+            format_cell(point.seconds),
+            format_cell(point.f1),
+            str(point.fd_count),
+        ]
+        for point in points
+    ]
+    print_table(title, header, rows)

@@ -1,0 +1,67 @@
+"""Assemble the archived benchmark outputs into one report.
+
+Every benchmark target writes its printed table to
+``benchmarks/results/<test-name>.txt``; this module stitches those
+archives into a single document (the measured half of EXPERIMENTS.md).
+
+Run as ``python -m repro.bench.report [results_dir]``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+DEFAULT_RESULTS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+# Canonical ordering: the paper's artifact order, then the extras.
+SECTION_ORDER = (
+    ("test_table3_small_datasets", "Table III (small datasets)"),
+    ("test_table3_large_datasets", "Table III (large datasets)"),
+    ("test_table3_uniprot_full_width", "Table III (uniprot at full width)"),
+    ("test_fig6_row_scalability", "Figure 6 (rows, fd-reduced-30)"),
+    ("test_fig7_row_scalability", "Figure 7 (rows, lineitem)"),
+    ("test_fig8_column_scalability", "Figure 8 (columns, plista)"),
+    ("test_fig9_column_scalability", "Figure 9 (columns, uniprot)"),
+    ("test_fig10_mlfq_parameters", "Figure 10 (MLFQ queues)"),
+    ("test_fig11_th_ncover", "Figure 11 (Th_Ncover)"),
+    ("test_fig11_th_pcover", "Figure 11 (Th_Pcover)"),
+    ("test_table5_dms_fleet", "Table V (DMS fleet)"),
+    ("test_ablation_design_choices", "Ablation (design choices)"),
+)
+
+
+def build_report(results_dir: Path | str = DEFAULT_RESULTS_DIR) -> str:
+    """Concatenate the archived tables in canonical order."""
+    results_dir = Path(results_dir)
+    sections: list[str] = []
+    seen: set[str] = set()
+    for stem, title in SECTION_ORDER:
+        path = results_dir / f"{stem}.txt"
+        if path.exists():
+            seen.add(path.name)
+            sections.append(f"### {title}\n\n```\n{path.read_text().strip()}\n```\n")
+    # Anything else (e.g. parametrized index benchmarks) goes at the end.
+    for path in sorted(results_dir.glob("*.txt")):
+        if path.name in seen:
+            continue
+        sections.append(
+            f"### {path.stem}\n\n```\n{path.read_text().strip()}\n```\n"
+        )
+    if not sections:
+        return (
+            "No archived benchmark results found; run\n"
+            "`pytest benchmarks/ --benchmark-only` first.\n"
+        )
+    return "\n".join(sections)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    results_dir = Path(argv[0]) if argv else DEFAULT_RESULTS_DIR
+    print(build_report(results_dir))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,114 @@
+"""Experiments E-F6..E-F9: row and column scalability (Figures 6-9).
+
+Row scalability sweeps the tuple count on fd-reduced-30 (Fig. 6) and
+lineitem (Fig. 7); column scalability sweeps the attribute count on
+plista (Fig. 8) and uniprot (Fig. 9).  Each sweep reports, per point, the
+runtime of every algorithm and the number of FDs found — the two series
+the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable, Sequence
+from typing import Any
+
+from ..datasets import registry
+from .runner import AlgorithmRun, default_algorithms, format_cell, print_table
+
+
+@dataclass
+class SweepPoint:
+    """One x-axis point of a scalability figure."""
+
+    x: int
+    runs: dict[str, AlgorithmRun]
+    fd_count: int | None
+
+    def cells(self, algorithm_names: Sequence[str]) -> list[str]:
+        line = [str(self.x)]
+        for name in algorithm_names:
+            run = self.runs[name]
+            line.append(format_cell(run.skipped or run.seconds))
+        line.append("-" if self.fd_count is None else str(self.fd_count))
+        return line
+
+
+def _sweep(
+    make_relation: Callable[[int], Any],
+    points: Sequence[int],
+    algorithms: dict[str, Callable[[], Any]],
+) -> list[SweepPoint]:
+    from .runner import run_algorithm
+
+    series: list[SweepPoint] = []
+    for x in points:
+        relation = make_relation(x)
+        runs = {
+            name: run_algorithm(factory, relation)
+            for name, factory in algorithms.items()
+        }
+        fd_count = None
+        euler = runs.get("EulerFD")
+        if euler is not None and euler.fds is not None:
+            fd_count = len(euler.fds)
+        series.append(SweepPoint(x=x, runs=runs, fd_count=fd_count))
+    return series
+
+
+def row_scalability(
+    dataset: str,
+    row_counts: Sequence[int],
+    algorithm_names: Sequence[str] = ("Tane", "HyFD", "AID-FD", "EulerFD"),
+    columns: int | None = None,
+) -> list[SweepPoint]:
+    """Figures 6/7: runtimes while the number of tuples grows.
+
+    Fdep is excluded by default, as in the paper ("the results of Fdep is
+    not presented because it runs into the time limit and memory limit").
+    """
+    algorithms = {
+        name: factory
+        for name, factory in default_algorithms().items()
+        if name in algorithm_names
+    }
+    info = registry.info(dataset)
+    return _sweep(
+        lambda rows: info.make(rows=rows, columns=columns),
+        row_counts,
+        algorithms,
+    )
+
+
+def column_scalability(
+    dataset: str,
+    column_counts: Sequence[int],
+    rows: int,
+    algorithm_names: Sequence[str] = ("Fdep", "HyFD", "AID-FD", "EulerFD"),
+) -> list[SweepPoint]:
+    """Figures 8/9: runtimes while the number of attributes grows.
+
+    Tane is excluded by default, as in the paper ("we do not present the
+    experimental results of Tane because it runs into the memory limit").
+    """
+    algorithms = {
+        name: factory
+        for name, factory in default_algorithms().items()
+        if name in algorithm_names
+    }
+    info = registry.info(dataset)
+    return _sweep(
+        lambda columns: info.make(rows=rows, columns=columns),
+        column_counts,
+        algorithms,
+    )
+
+
+def print_sweep(
+    title: str,
+    x_label: str,
+    series: list[SweepPoint],
+    algorithm_names: Sequence[str],
+) -> None:
+    header = [x_label, *[f"{name}[s]" for name in algorithm_names], "FDs"]
+    print_table(title, header, [point.cells(algorithm_names) for point in series])

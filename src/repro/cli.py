@@ -1,0 +1,199 @@
+"""Command-line interface: ``repro-fd`` / ``python -m repro``.
+
+Subcommands:
+
+* ``discover``  — run an algorithm on a CSV file and print the FDs;
+* ``compare``   — run several algorithms on one CSV and tabulate
+  runtimes, FD counts, and F1 against an exact baseline;
+* ``generate``  — materialize one of the registered benchmark datasets
+  as CSV;
+* ``datasets``  — list the registered benchmark datasets;
+* ``algorithms`` — list the available discovery algorithms.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .algorithms import available_algorithms, create
+from .bench.runner import GroundTruthCache, format_cell, print_table
+from .datasets import registry
+from .metrics import fd_set_metrics, timed
+from .relation import read_csv, write_csv
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-fd",
+        description="EulerFD functional-dependency discovery (ICDE 2023 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    discover = commands.add_parser("discover", help="discover FDs in a CSV file")
+    discover.add_argument("path", help="CSV file with a header row")
+    discover.add_argument(
+        "--algorithm", default="eulerfd", choices=available_algorithms()
+    )
+    discover.add_argument("--max-rows", type=int, default=None)
+    discover.add_argument("--no-header", action="store_true")
+    discover.add_argument("--delimiter", default=",")
+    discover.add_argument(
+        "--limit", type=int, default=None, help="print at most N FDs"
+    )
+    discover.add_argument(
+        "--json", action="store_true", help="emit the result as JSON"
+    )
+
+    profile = commands.add_parser(
+        "profile", help="profile a CSV file: columns, keys, FDs"
+    )
+    profile.add_argument("path")
+    profile.add_argument("--max-rows", type=int, default=None)
+    profile.add_argument("--no-header", action="store_true")
+    profile.add_argument("--delimiter", default=",")
+
+    compare = commands.add_parser("compare", help="compare algorithms on a CSV file")
+    compare.add_argument("path")
+    compare.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["tane", "fdep", "hyfd", "aidfd", "eulerfd"],
+        choices=available_algorithms(),
+    )
+    compare.add_argument("--max-rows", type=int, default=None)
+    compare.add_argument("--no-header", action="store_true")
+    compare.add_argument("--delimiter", default=",")
+
+    generate = commands.add_parser(
+        "generate", help="write a registered benchmark dataset as CSV"
+    )
+    generate.add_argument("dataset", choices=registry.dataset_names())
+    generate.add_argument("output")
+    generate.add_argument("--rows", type=int, default=None)
+    generate.add_argument("--columns", type=int, default=None)
+    generate.add_argument("--seed", type=int, default=None)
+
+    commands.add_parser("datasets", help="list registered benchmark datasets")
+    commands.add_parser("algorithms", help="list available algorithms")
+    return parser
+
+
+def _cmd_discover(args: argparse.Namespace) -> int:
+    relation = read_csv(
+        args.path,
+        has_header=not args.no_header,
+        delimiter=args.delimiter,
+        max_rows=args.max_rows,
+    )
+    result = create(args.algorithm).discover(relation)
+    if args.json:
+        print(result.to_json())
+        return 0
+    print(result.summary())
+    for line in result.format_fds(limit=args.limit):
+        print(" ", line)
+    if args.limit is not None and len(result) > args.limit:
+        print(f"  ... and {len(result) - args.limit} more")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .profile import profile_relation
+
+    relation = read_csv(
+        args.path,
+        has_header=not args.no_header,
+        delimiter=args.delimiter,
+        max_rows=args.max_rows,
+    )
+    print(profile_relation(relation).render())
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    relation = read_csv(
+        args.path,
+        has_header=not args.no_header,
+        delimiter=args.delimiter,
+        max_rows=args.max_rows,
+    )
+    truth = GroundTruthCache().truth_for(relation)
+    rows = []
+    for key in args.algorithms:
+        run = timed(lambda: create(key).discover(relation))
+        metrics = fd_set_metrics(run.value.fds, truth)
+        rows.append(
+            [
+                run.value.algorithm,
+                format_cell(run.seconds),
+                str(len(run.value.fds)),
+                format_cell(metrics.f1),
+            ]
+        )
+    print_table(
+        f"{relation.name} ({relation.num_rows}x{relation.num_columns}, "
+        f"{len(truth)} true FDs)",
+        ["Algorithm", "Time[s]", "FDs", "F1"],
+        rows,
+    )
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    relation = registry.make(
+        args.dataset, rows=args.rows, columns=args.columns, seed=args.seed
+    )
+    write_csv(relation, args.output)
+    print(
+        f"wrote {relation.num_rows}x{relation.num_columns} "
+        f"{args.dataset!r} to {args.output}"
+    )
+    return 0
+
+
+def _cmd_datasets(_: argparse.Namespace) -> int:
+    rows = []
+    for name in registry.dataset_names():
+        entry = registry.info(name)
+        rows.append(
+            [
+                name,
+                str(entry.paper_rows),
+                str(entry.paper_columns),
+                "?" if entry.paper_fds is None else str(entry.paper_fds),
+                str(entry.bench_rows),
+            ]
+        )
+    print_table(
+        "Registered benchmark datasets (paper scale vs bench scale)",
+        ["Dataset", "Paper rows", "Paper cols", "Paper FDs", "Bench rows"],
+        rows,
+    )
+    return 0
+
+
+def _cmd_algorithms(_: argparse.Namespace) -> int:
+    for key in available_algorithms():
+        print(key)
+    return 0
+
+
+_HANDLERS = {
+    "discover": _cmd_discover,
+    "profile": _cmd_profile,
+    "compare": _cmd_compare,
+    "generate": _cmd_generate,
+    "datasets": _cmd_datasets,
+    "algorithms": _cmd_algorithms,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

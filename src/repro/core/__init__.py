@@ -1,0 +1,26 @@
+"""EulerFD core: configuration, sampling, covers, inversion, driver."""
+
+from .config import EulerFDConfig, MlfqPolicy, mlfq_ranges
+from .eulerfd import EulerFD
+from .incremental import IncrementalEulerFD
+from .inversion import Inverter, InversionStats
+from .mlfq import MultilevelFeedbackQueue
+from .result import DiscoveryResult, Stopwatch, make_result
+from .sampler import ClusterState, RoundStats, SamplingModule
+
+__all__ = [
+    "ClusterState",
+    "DiscoveryResult",
+    "EulerFD",
+    "EulerFDConfig",
+    "IncrementalEulerFD",
+    "Inverter",
+    "InversionStats",
+    "MlfqPolicy",
+    "MultilevelFeedbackQueue",
+    "RoundStats",
+    "SamplingModule",
+    "Stopwatch",
+    "make_result",
+    "mlfq_ranges",
+]

@@ -1,0 +1,70 @@
+"""A multilevel feedback queue over sampling clusters (Section IV-C).
+
+Classic MLFQ scheduling [Corbató et al. 1962] keeps several FIFO queues of
+decreasing priority and learns where each process belongs from observed
+behaviour.  EulerFD treats *clusters* as processes and their sampling
+capacity ``capa`` as the observed behaviour: clusters whose recent samples
+yielded many new non-FDs are scheduled before clusters that went quiet.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generic, TypeVar
+
+from .config import MlfqPolicy
+
+T = TypeVar("T")
+
+
+class MultilevelFeedbackQueue(Generic[T]):
+    """Priority buckets of FIFO queues, keyed by capa ranges.
+
+    ``push`` assigns an item to the queue matching its capa and appends it
+    at the tail (Algorithm 1: "reassigns it to the tail of a new queue");
+    ``pop`` removes the head of the highest-priority non-empty queue.
+    """
+
+    __slots__ = ("policy", "_queues", "_size")
+
+    def __init__(self, policy: MlfqPolicy) -> None:
+        self.policy = policy
+        self._queues: list[deque[T]] = [deque() for _ in range(policy.num_queues)]
+        self._size = 0
+
+    def push(self, item: T, capa: float) -> int:
+        """Enqueue ``item`` by its capa; return the queue index used."""
+        index = self.policy.queue_for(capa)
+        self._queues[index].append(item)
+        self._size += 1
+        return index
+
+    def pop(self) -> T:
+        """Dequeue from the highest-priority non-empty queue.
+
+        Raises ``IndexError`` when the MLFQ is empty, mirroring
+        ``deque.popleft``.
+        """
+        for queue in self._queues:
+            if queue:
+                self._size -= 1
+                return queue.popleft()
+        raise IndexError("pop from an empty multilevel feedback queue")
+
+    def queue_sizes(self) -> tuple[int, ...]:
+        """Current occupancy per queue, highest priority first."""
+        return tuple(len(queue) for queue in self._queues)
+
+    def clear(self) -> None:
+        for queue in self._queues:
+            queue.clear()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MultilevelFeedbackQueue(sizes={self.queue_sizes()})"

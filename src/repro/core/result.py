@@ -1,0 +1,124 @@
+"""Discovery results shared by every algorithm in the package."""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from collections.abc import Iterator, Sequence
+from typing import Any
+
+from ..fd import FD
+
+
+@dataclass(frozen=True)
+class DiscoveryResult:
+    """The output of one FD-discovery run.
+
+    ``fds`` holds the non-trivial minimal FDs (the *target Pcover* of
+    Section III); ``stats`` carries algorithm-specific counters such as
+    tuple pairs compared, cycles executed, or lattice levels visited.
+    """
+
+    fds: frozenset[FD]
+    algorithm: str
+    relation_name: str
+    num_rows: int
+    num_columns: int
+    column_names: tuple[str, ...]
+    runtime_seconds: float
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.fds)
+
+    def __iter__(self) -> Iterator[FD]:
+        return iter(sorted(self.fds))
+
+    def __contains__(self, fd: FD) -> bool:
+        return fd in self.fds
+
+    def format_fds(self, limit: int | None = None) -> list[str]:
+        """Human-readable FD strings using the relation's column names."""
+        ordered = sorted(self.fds)
+        if limit is not None:
+            ordered = ordered[:limit]
+        return [fd.format(self.column_names) for fd in ordered]
+
+    def summary(self) -> str:
+        return (
+            f"{self.algorithm} on {self.relation_name} "
+            f"({self.num_rows}x{self.num_columns}): {len(self.fds)} FDs "
+            f"in {self.runtime_seconds:.3f}s"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable view: FDs as name lists plus all metadata."""
+        return {
+            "algorithm": self.algorithm,
+            "relation": self.relation_name,
+            "num_rows": self.num_rows,
+            "num_columns": self.num_columns,
+            "runtime_seconds": self.runtime_seconds,
+            "stats": dict(self.stats),
+            "fds": [
+                {
+                    "lhs": [self.column_names[i] for i in fd.lhs_indices],
+                    "rhs": self.column_names[fd.rhs],
+                }
+                for fd in sorted(self.fds)
+            ],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Serialize the result (e.g. for tooling downstream of the CLI)."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def fds_from_dict(
+        cls, payload: dict[str, Any], column_names: Sequence[str]
+    ) -> frozenset[FD]:
+        """Rebuild the FD set of a ``to_dict`` payload against a schema."""
+        positions = {name: i for i, name in enumerate(column_names)}
+        return frozenset(
+            FD.of(
+                [positions[name] for name in entry["lhs"]],
+                positions[entry["rhs"]],
+            )
+            for entry in payload["fds"]
+        )
+
+
+class Stopwatch:
+    """Monotonic timer used by every algorithm for its runtime report."""
+
+    __slots__ = ("_start",)
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._start
+
+
+def make_result(
+    fds: Iterator[FD] | Sequence[FD] | frozenset[FD],
+    algorithm: str,
+    relation_name: str,
+    num_rows: int,
+    num_columns: int,
+    column_names: Sequence[str],
+    watch: Stopwatch,
+    stats: dict[str, Any] | None = None,
+) -> DiscoveryResult:
+    """Assemble a :class:`DiscoveryResult`, stamping the elapsed runtime."""
+    return DiscoveryResult(
+        fds=frozenset(fds),
+        algorithm=algorithm,
+        relation_name=relation_name,
+        num_rows=num_rows,
+        num_columns=num_columns,
+        column_names=tuple(column_names),
+        runtime_seconds=watch.elapsed(),
+        stats=dict(stats) if stats else {},
+    )

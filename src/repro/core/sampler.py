@@ -1,0 +1,251 @@
+"""The sampling module: MLFQ over clusters + sliding windows (Algorithm 1).
+
+Tuple pairs are drawn only inside stripped-partition clusters, so every
+comparison is guaranteed to agree on at least one attribute and can always
+contribute a non-FD.  Within a cluster, the *sliding window* pairs the
+first and last tuple of a window that slides across the cluster; each
+sample of the same cluster uses a window one larger than the last, so no
+tuple pair is ever compared twice (Fig. 3).
+
+Across clusters, a multilevel feedback queue schedules which cluster to
+sample next.  After each sample the cluster's *capa* —
+
+    capa = (number of new non-FDs) / (number of tuple pairs just compared)
+
+— decides the queue it re-enters; clusters whose recent samples stopped
+producing retire permanently (Algorithm 1, line 17).
+
+The module hands out work in *passes* — full drains of the MLFQ, exactly
+one execution of Algorithm 1's main loop — so the negative-cover module
+can evaluate its growth-rate stopping criterion between passes; that
+hand-off is the first of the two cycles of Figure 1.  ``revive`` clears
+retirement streaks to give quiet clusters a fresh chance when either
+cycle decides that sampling should continue.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..fd import attrset
+from ..relation.preprocess import PreprocessedRelation
+from .config import EulerFDConfig, MlfqPolicy
+from .mlfq import MultilevelFeedbackQueue
+
+Violation = tuple[int, int]
+"""(agree mask, mask of newly-violated RHS attributes) of one tuple pair."""
+
+
+class ClusterState:
+    """Sampling state of one stripped-partition cluster."""
+
+    __slots__ = ("rows", "window", "history", "samples", "last_capa")
+
+    def __init__(self, rows: tuple[int, ...], initial_window: int, history: int) -> None:
+        self.rows = rows
+        self.window = initial_window
+        self.history: deque[float] = deque(maxlen=history)
+        self.samples = 0
+        self.last_capa = 0.0
+
+    @property
+    def exhausted(self) -> bool:
+        """No window size left: every regular-interval pair was compared."""
+        return self.window > len(self.rows)
+
+    @property
+    def retired(self) -> bool:
+        """Recent samples all came up empty (average capa of history == 0)."""
+        return len(self.history) == self.history.maxlen and not any(self.history)
+
+    @property
+    def active(self) -> bool:
+        return not self.exhausted and not self.retired
+
+    def record(self, capa: float) -> None:
+        self.history.append(capa)
+        self.last_capa = capa
+        self.samples += 1
+
+    def revive(self) -> None:
+        """Forget the zero streak so the cluster may be scheduled again."""
+        self.history.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ClusterState(size={len(self.rows)}, window={self.window}, "
+            f"capa={self.last_capa:.3f})"
+        )
+
+
+@dataclass
+class RoundStats:
+    """Bookkeeping of one sampling round."""
+
+    cluster_samples: int = 0
+    pairs_compared: int = 0
+    new_non_fds: int = 0
+    queue_occupancy: tuple[int, ...] = field(default_factory=tuple)
+
+
+class SamplingModule:
+    """Stateful sampler shared by both cycles of EulerFD."""
+
+    def __init__(self, data: PreprocessedRelation, config: EulerFDConfig) -> None:
+        self.data = data
+        self.config = config
+        self._universe = attrset.universe(data.num_columns)
+        self._clusters = self._collect_clusters()
+        self._policy = config.mlfq
+        self._queue: MultilevelFeedbackQueue[ClusterState] = MultilevelFeedbackQueue(
+            self._policy
+        )
+        # agree mask -> mask of RHS attributes already known violated under it;
+        # the exact novelty ledger behind the capa metric.
+        self._seen: dict[int, int] = {}
+        self.total_pairs = 0
+        self.total_new_non_fds = 0
+        self.rounds_run = 0
+        self.revivals = 0
+
+    # -- construction -----------------------------------------------------
+
+    def _collect_clusters(self) -> list[ClusterState]:
+        clusters: list[ClusterState] = []
+        registered: set[tuple[int, ...]] = set()
+        for _, rows in self.data.iter_clusters():
+            if self.config.dedupe_clusters:
+                if rows in registered:
+                    continue
+                registered.add(rows)
+            clusters.append(
+                ClusterState(rows, self.config.initial_window, self.config.retire_history)
+            )
+        return clusters
+
+    @property
+    def num_clusters(self) -> int:
+        return len(self._clusters)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def has_more(self) -> bool:
+        """True when another round could compare at least one pair."""
+        return bool(self._queue) or any(c.active for c in self._clusters)
+
+    def revive(self) -> int:
+        """Second-cycle re-entry: clear retirement of non-exhausted clusters.
+
+        Returns how many clusters became eligible again.  Window sizes are
+        kept, so revived clusters continue with never-seen tuple pairs.
+        """
+        revived = 0
+        for cluster in self._clusters:
+            if cluster.retired and not cluster.exhausted:
+                cluster.revive()
+                revived += 1
+        if revived:
+            self.revivals += 1
+        return revived
+
+    def _refill_queue(self) -> None:
+        """Enqueue every eligible cluster; unsampled ones get top priority."""
+        if self._policy.adaptive:
+            self._policy = _adapted_policy(self._policy, self._clusters)
+            self._queue = MultilevelFeedbackQueue(self._policy)
+        for cluster in self._clusters:
+            if cluster.active:
+                capa = cluster.last_capa if cluster.samples else float("inf")
+                self._queue.push(cluster, capa)
+
+    def run_pass(self, max_samples: int | None = None) -> tuple[list[Violation], RoundStats]:
+        """Drain the MLFQ: one full execution of Algorithm 1's main loop.
+
+        Every eligible cluster enters the queue and is sampled repeatedly
+        — highest `capa` first, re-entering the queue after each sample —
+        until it exhausts its windows or retires on a zero-capa streak
+        (line 17).  Returns the (novel) violations and pass statistics;
+        zero pairs compared means the sampler is dry.
+
+        ``max_samples`` optionally bounds the drain for callers that need
+        finer-grained control (tests, interactive use).
+        """
+        stats = RoundStats()
+        violations: list[Violation] = []
+        if not self._queue:
+            self._refill_queue()
+        while self._queue:
+            if max_samples is not None and stats.cluster_samples >= max_samples:
+                break
+            cluster = self._queue.pop()
+            capa = self._sample(cluster, violations, stats)
+            stats.cluster_samples += 1
+            if not cluster.exhausted and not cluster.retired:
+                self._queue.push(cluster, capa)
+        stats.queue_occupancy = self._queue.queue_sizes()
+        self.rounds_run += 1
+        self.total_pairs += stats.pairs_compared
+        self.total_new_non_fds += stats.new_non_fds
+        return violations, stats
+
+    # -- the sliding window -------------------------------------------------
+
+    def _sample(
+        self, cluster: ClusterState, out: list[Violation], stats: RoundStats
+    ) -> float:
+        """One sample of one cluster: compare all pairs at the current window."""
+        rows = cluster.rows
+        window = cluster.window
+        num_positions = len(rows) - window + 1
+        positions = list(range(num_positions))
+        cap = self.config.max_pairs_per_sample
+        if cap is not None and num_positions > cap:
+            step = num_positions / cap
+            positions = [int(i * step) for i in range(cap)]
+            num_positions = cap
+        new_count = 0
+        seen = self._seen
+        rows_a = [rows[i] for i in positions]
+        rows_b = [rows[i + window - 1] for i in positions]
+        for agree in self.data.agree_masks_bulk(rows_a, rows_b):
+            novel = (self._universe & ~agree) & ~seen.get(agree, 0)
+            if novel:
+                seen[agree] = seen.get(agree, 0) | novel
+                new_count += novel.bit_count()
+                out.append((agree, novel))
+        stats.pairs_compared += num_positions
+        stats.new_non_fds += new_count
+        capa = new_count / num_positions if num_positions else 0.0
+        cluster.record(capa)
+        cluster.window += 1
+        return capa
+
+
+def _adapted_policy(policy: MlfqPolicy, clusters: list[ClusterState]) -> MlfqPolicy:
+    """Future-work extension (Section VI): re-divide capa ranges at runtime.
+
+    Queue bounds are re-drawn from the quantiles of the recently observed
+    positive capa values, so queue occupancy stays balanced even when the
+    static decade ranges of Table IV fit the data poorly.  Falls back to
+    the current bounds when there is not enough signal.
+    """
+    observed = sorted(
+        (c.last_capa for c in clusters if c.samples and c.last_capa > 0),
+        reverse=True,
+    )
+    num_queues = policy.num_queues
+    if num_queues == 1 or len(observed) < num_queues:
+        return policy
+    bounds: list[float] = []
+    for level in range(num_queues - 1):
+        position = int(len(observed) * (level + 1) / num_queues)
+        position = min(position, len(observed) - 1)
+        bound = observed[position]
+        if bounds and bound >= bounds[-1]:
+            bound = bounds[-1] / 2
+        bounds.append(bound)
+    bounds.append(0.0)
+    if any(b <= 0 for b in bounds[:-1]):
+        return policy
+    return MlfqPolicy(tuple(bounds), adaptive=True)

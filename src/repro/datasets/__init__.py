@@ -1,0 +1,26 @@
+"""Synthetic dataset generators standing in for the paper's benchmarks."""
+
+from . import generators
+from .dms import COLUMN_BUCKETS, ROW_BUCKETS, FleetDataset, fleet
+from .engine import ColumnSpec, DatasetSpec, generate, planted_fd_columns
+from .patients import COLUMNS as PATIENT_COLUMNS
+from .patients import patients
+from .registry import DatasetInfo, dataset_names, info, make
+
+__all__ = [
+    "COLUMN_BUCKETS",
+    "ColumnSpec",
+    "DatasetInfo",
+    "DatasetSpec",
+    "FleetDataset",
+    "PATIENT_COLUMNS",
+    "ROW_BUCKETS",
+    "dataset_names",
+    "fleet",
+    "generate",
+    "generators",
+    "info",
+    "make",
+    "patients",
+    "planted_fd_columns",
+]

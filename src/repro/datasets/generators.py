@@ -1,0 +1,499 @@
+"""Generators standing in for the paper's 19 benchmark datasets.
+
+Each function returns a :class:`~repro.datasets.engine.DatasetSpec` whose
+column mix (domain sizes, keys, planted dependencies, noise) is chosen so
+the generated relation lands in the same regime as the original: narrow
+UCI datasets with moderate FD counts, the high-FD small-row hospital
+datasets (hepatitis/horse), the synthetic fd-reduced generator, and the
+wide sparse web datasets (plista/flight/uniprot).  Paper row counts and FD
+counts are recorded in :mod:`repro.datasets.registry` for comparison; the
+generators do not attempt to match FD counts exactly, only the workload
+shape (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from .engine import ColumnSpec, DatasetSpec
+
+Cat = ColumnSpec  # local alias keeping the spec tables readable
+
+
+def iris_spec(seed: int = 7) -> DatasetSpec:
+    """150x5 numeric measurements, small domains, one class column."""
+    return DatasetSpec(
+        "iris",
+        (
+            Cat("sepal_length", cardinality=35),
+            Cat("sepal_width", cardinality=23),
+            Cat("petal_length", cardinality=43),
+            Cat("petal_width", cardinality=22),
+            Cat("species", kind="derived", sources=("petal_length", "petal_width"),
+                cardinality=3),
+        ),
+        seed=seed,
+    )
+
+
+def balance_scale_spec(seed: int = 11) -> DatasetSpec:
+    """625x5 factorial design: four card-5 factors determine the class."""
+    return DatasetSpec(
+        "balance-scale",
+        (
+            Cat("left_weight", cardinality=5),
+            Cat("left_distance", cardinality=5),
+            Cat("right_weight", cardinality=5),
+            Cat("right_distance", cardinality=5),
+            Cat("class", kind="derived", cardinality=3,
+                sources=("left_weight", "left_distance", "right_weight",
+                         "right_distance")),
+        ),
+        seed=seed,
+    )
+
+
+def chess_spec(seed: int = 13) -> DatasetSpec:
+    """28056x7 endgame positions: six coordinates determine the outcome."""
+    return DatasetSpec(
+        "chess",
+        (
+            Cat("wk_file", cardinality=4),
+            Cat("wk_rank", cardinality=8),
+            Cat("wr_file", cardinality=8),
+            Cat("wr_rank", cardinality=8),
+            Cat("bk_file", cardinality=8),
+            Cat("bk_rank", cardinality=8),
+            Cat("depth", kind="derived", cardinality=18,
+                sources=("wk_file", "wk_rank", "wr_file", "wr_rank",
+                         "bk_file", "bk_rank")),
+        ),
+        seed=seed,
+    )
+
+
+def abalone_spec(seed: int = 17) -> DatasetSpec:
+    """4177x9 physical measurements with a few planted correlations."""
+    return DatasetSpec(
+        "abalone",
+        (
+            Cat("sex", cardinality=3),
+            Cat("length", cardinality=134),
+            Cat("diameter", cardinality=111),
+            Cat("height", cardinality=51),
+            Cat("whole_weight", kind="derived", cardinality=2400,
+                sources=("length", "diameter", "height")),
+            Cat("shucked_weight", cardinality=1500),
+            Cat("viscera_weight", cardinality=880),
+            Cat("shell_weight", kind="derived", cardinality=900,
+                sources=("length", "diameter")),
+            Cat("rings", cardinality=28),
+        ),
+        seed=seed,
+    )
+
+
+def nursery_spec(seed: int = 19) -> DatasetSpec:
+    """12960x9 factorial nursery applications: features determine the class."""
+    return DatasetSpec(
+        "nursery",
+        (
+            Cat("parents", cardinality=3),
+            Cat("has_nurs", cardinality=5),
+            Cat("form", cardinality=4),
+            Cat("children", cardinality=4),
+            Cat("housing", cardinality=3),
+            Cat("finance", cardinality=2),
+            Cat("social", cardinality=3),
+            Cat("health", cardinality=3),
+            Cat("class", kind="derived", cardinality=5,
+                sources=("parents", "has_nurs", "form", "children", "housing",
+                         "finance", "social", "health")),
+        ),
+        seed=seed,
+    )
+
+
+def breast_cancer_spec(seed: int = 23) -> DatasetSpec:
+    """699x11 cytology features, near-key id column."""
+    return DatasetSpec(
+        "breast-cancer",
+        (
+            Cat("id", cardinality=645),
+            Cat("clump_thickness", cardinality=10),
+            Cat("cell_size", cardinality=10),
+            Cat("cell_shape", cardinality=10),
+            Cat("adhesion", cardinality=10),
+            Cat("epithelial_size", cardinality=10),
+            Cat("bare_nuclei", cardinality=11),
+            Cat("bland_chromatin", cardinality=10),
+            Cat("normal_nucleoli", cardinality=10),
+            Cat("mitoses", cardinality=9),
+            Cat("class", kind="derived", cardinality=2,
+                sources=("cell_size", "bare_nuclei")),
+        ),
+        seed=seed,
+    )
+
+
+def bridges_spec(seed: int = 29) -> DatasetSpec:
+    """108x13 Pittsburgh bridges: tiny rows, moderate domains, many FDs."""
+    return DatasetSpec(
+        "bridges",
+        (
+            Cat("identifier", kind="key"),
+            Cat("river", cardinality=4, skew=0.8),
+            Cat("location", cardinality=50),
+            Cat("erected", cardinality=70),
+            Cat("purpose", cardinality=4),
+            Cat("length", cardinality=30),
+            Cat("lanes", cardinality=4),
+            Cat("clear_g", cardinality=2),
+            Cat("t_or_d", cardinality=2),
+            Cat("material", cardinality=3),
+            Cat("span", cardinality=3),
+            Cat("rel_l", cardinality=3),
+            Cat("type", kind="derived", cardinality=7,
+                sources=("material", "span")),
+        ),
+        seed=seed,
+    )
+
+
+def echocardiogram_spec(seed: int = 31) -> DatasetSpec:
+    """132x13 clinical measurements: tiny rows, mixed domains, dense FDs."""
+    return DatasetSpec(
+        "echocardiogram",
+        (
+            Cat("survival", cardinality=40),
+            Cat("still_alive", cardinality=2),
+            Cat("age_at_heart_attack", cardinality=40),
+            Cat("pericardial", cardinality=2),
+            Cat("fractional_short", cardinality=70),
+            Cat("epss", cardinality=65),
+            Cat("lvdd", cardinality=60),
+            Cat("wall_motion_score", cardinality=45),
+            Cat("wall_motion_index", cardinality=30),
+            Cat("mult", cardinality=30),
+            Cat("name", cardinality=110),
+            Cat("group", cardinality=3),
+            Cat("alive_at_1", kind="derived", cardinality=3,
+                sources=("survival", "still_alive")),
+        ),
+        seed=seed,
+    )
+
+
+def adult_spec(seed: int = 37) -> DatasetSpec:
+    """32561x15 census records; education -> education_num is planted."""
+    return DatasetSpec(
+        "adult",
+        (
+            Cat("age", cardinality=74),
+            Cat("workclass", cardinality=9, skew=1.2),
+            Cat("fnlwgt", cardinality=22000),
+            Cat("education", cardinality=16),
+            Cat("education_num", kind="derived", cardinality=16,
+                sources=("education",)),
+            Cat("marital_status", cardinality=7),
+            Cat("occupation", cardinality=15),
+            Cat("relationship", cardinality=6),
+            Cat("race", cardinality=5, skew=1.5),
+            Cat("sex", cardinality=2),
+            Cat("capital_gain", cardinality=120, skew=2.0),
+            Cat("capital_loss", cardinality=99, skew=2.0),
+            Cat("hours_per_week", cardinality=96),
+            Cat("native_country", cardinality=42, skew=2.0),
+            Cat("income", kind="derived", cardinality=2, noise=0.05,
+                sources=("education", "occupation", "capital_gain")),
+        ),
+        seed=seed,
+    )
+
+
+def lineitem_spec(seed: int = 41) -> DatasetSpec:
+    """6M x 16 TPC-H lineitem lookalike; price derives from part+quantity."""
+    return DatasetSpec(
+        "lineitem",
+        (
+            Cat("orderkey", cardinality=1_500_000),
+            Cat("partkey", cardinality=200_000),
+            Cat("suppkey", cardinality=10_000),
+            Cat("linenumber", cardinality=7),
+            Cat("quantity", cardinality=50),
+            Cat("extendedprice", kind="derived", cardinality=1_000_000,
+                sources=("partkey", "quantity")),
+            Cat("discount", cardinality=11),
+            Cat("tax", cardinality=9),
+            Cat("returnflag", cardinality=3),
+            Cat("linestatus", cardinality=2),
+            Cat("shipdate", cardinality=2526),
+            Cat("commitdate", cardinality=2466),
+            Cat("receiptdate", cardinality=2555),
+            Cat("shipinstruct", cardinality=4),
+            Cat("shipmode", cardinality=7),
+            Cat("comment", cardinality=4_500_000),
+        ),
+        seed=seed,
+    )
+
+
+def letter_spec(seed: int = 43) -> DatasetSpec:
+    """20000x17 letter-recognition features + class.
+
+    Real letter features are strongly correlated (they are all moments of
+    the same glyph), which keeps its FD count tiny despite 17 columns; we
+    model that by deriving most features from four base measurements.
+    """
+    columns = [Cat(f"feature_{i}", cardinality=16) for i in range(4)]
+    for i in range(4, 16):
+        sources = (f"feature_{i % 4}", f"feature_{(i + 1) % 4}")
+        columns.append(
+            Cat(f"feature_{i}", kind="derived", cardinality=16,
+                sources=sources)
+        )
+    columns.append(
+        Cat("letter", kind="derived", cardinality=26,
+            sources=("feature_0", "feature_1", "feature_2", "feature_3"))
+    )
+    return DatasetSpec("letter", tuple(columns), seed=seed)
+
+
+def weather_spec(seed: int = 47) -> DatasetSpec:
+    """262920x18 station measurements; station determines its metadata."""
+    return DatasetSpec(
+        "weather",
+        (
+            Cat("station_id", cardinality=60),
+            Cat("station_name", kind="derived", cardinality=60,
+                sources=("station_id",)),
+            Cat("region", kind="derived", cardinality=12,
+                sources=("station_id",)),
+            Cat("elevation", kind="derived", cardinality=55,
+                sources=("station_id",)),
+            Cat("date", cardinality=4383),
+            Cat("month", kind="derived", cardinality=12, sources=("date",)),
+            Cat("temperature_max", cardinality=120),
+            Cat("temperature_min", cardinality=110),
+            Cat("temperature_avg", kind="derived", cardinality=115,
+                sources=("temperature_max", "temperature_min")),
+            Cat("humidity", cardinality=101),
+            Cat("pressure", cardinality=300),
+            Cat("wind_speed", cardinality=80),
+            Cat("wind_direction", cardinality=16),
+            Cat("precipitation", cardinality=150, skew=2.5),
+            Cat("snowfall", cardinality=60, skew=3.0),
+            Cat("cloud_cover", cardinality=9),
+            Cat("weather_code", kind="derived", cardinality=28, noise=0.01,
+                sources=("precipitation", "cloud_cover")),
+            Cat("quality_flag", cardinality=4, skew=3.0),
+        ),
+        seed=seed,
+    )
+
+
+def ncvoter_spec(seed: int = 53) -> DatasetSpec:
+    """1000x19 voter registrations: dense FDs from id-like columns."""
+    return DatasetSpec(
+        "ncvoter",
+        (
+            Cat("voter_id", kind="key"),
+            Cat("last_name", cardinality=700),
+            Cat("first_name", cardinality=400),
+            Cat("middle_name", cardinality=300),
+            Cat("age", cardinality=80),
+            Cat("gender", cardinality=3),
+            Cat("race", cardinality=7),
+            Cat("ethnicity", cardinality=3),
+            Cat("party", cardinality=5, skew=0.7),
+            Cat("county_id", cardinality=100),
+            Cat("county_name", kind="derived", cardinality=100,
+                sources=("county_id",)),
+            Cat("precinct", cardinality=250),
+            Cat("zip_code", kind="derived", cardinality=180,
+                sources=("precinct",)),
+            Cat("city", kind="derived", cardinality=90, sources=("zip_code",)),
+            Cat("street_type", cardinality=25),
+            Cat("registration_date", cardinality=600),
+            Cat("status", cardinality=4, skew=2.0),
+            Cat("download_month", kind="constant"),
+            Cat("voter_tabulation", cardinality=40),
+        ),
+        seed=seed,
+    )
+
+
+def hepatitis_spec(seed: int = 59) -> DatasetSpec:
+    """155x20 clinical booleans: tiny rows + binary domains = dense FDs."""
+    columns = [
+        Cat("age", cardinality=50),
+        Cat("sex", cardinality=2),
+    ]
+    for name in (
+        "steroid", "antivirals", "fatigue", "malaise", "anorexia",
+        "liver_big", "liver_firm", "spleen_palpable", "spiders", "ascites",
+        "varices", "histology",
+    ):
+        columns.append(Cat(name, cardinality=2))
+    columns.extend(
+        (
+            Cat("bilirubin", cardinality=35),
+            Cat("alk_phosphate", cardinality=80),
+            Cat("sgot", cardinality=85),
+            Cat("albumin", cardinality=30),
+            Cat("protime", cardinality=45),
+            Cat("class", kind="derived", cardinality=2,
+                sources=("ascites", "albumin")),
+        )
+    )
+    return DatasetSpec("hepatitis", tuple(columns), seed=seed)
+
+
+def horse_spec(seed: int = 61) -> DatasetSpec:
+    """300x28 veterinary records: the extreme-FD-count regime of Table III."""
+    columns = [
+        Cat("surgery", cardinality=2),
+        Cat("age", cardinality=2),
+        Cat("hospital_number", kind="key"),
+        Cat("rectal_temp", cardinality=40),
+        Cat("pulse", cardinality=52),
+        Cat("respiratory_rate", kind="derived", cardinality=40,
+            sources=("pulse",)),
+    ]
+    for name in ("temp_extremities", "peripheral_pulse", "mucous_membranes"):
+        columns.append(Cat(name, cardinality=5))
+    for name, sources in (
+        ("capillary_refill", ("temp_extremities", "peripheral_pulse")),
+        ("pain", ("mucous_membranes", "temp_extremities")),
+        ("peristalsis", ("peripheral_pulse", "mucous_membranes")),
+    ):
+        columns.append(
+            Cat(name, kind="derived", cardinality=5, sources=sources)
+        )
+    # Clinical scores correlate: model the remaining examination columns as
+    # functions of earlier ones so the FD count stays large but tractable.
+    for name, sources in (
+        ("abdominal_distension", ("pain", "peristalsis")),
+        ("nasogastric_tube", ("peristalsis", "capillary_refill")),
+        ("nasogastric_reflux", ("pain", "mucous_membranes")),
+        ("rectal_exam", ("peripheral_pulse", "pain")),
+        ("abdomen", ("temp_extremities", "peristalsis")),
+    ):
+        columns.append(
+            Cat(name, kind="derived", cardinality=5, sources=sources)
+        )
+    columns.extend(
+        (
+            Cat("packed_cell_volume", cardinality=50),
+            Cat("total_protein", kind="derived", cardinality=80,
+                sources=("packed_cell_volume",)),
+            Cat("abdomo_appearance", kind="derived", cardinality=3,
+                sources=("mucous_membranes",)),
+            Cat("abdomo_protein", kind="derived", cardinality=40,
+                sources=("packed_cell_volume", "abdomo_appearance")),
+            Cat("outcome", kind="derived", cardinality=3,
+                sources=("pain", "abdomo_appearance")),
+            Cat("surgical_lesion", kind="derived", cardinality=2,
+                sources=("outcome",)),
+            Cat("lesion_site", cardinality=60),
+            Cat("lesion_type", kind="derived", cardinality=25,
+                sources=("lesion_site",)),
+            Cat("lesion_subtype", kind="derived", cardinality=8,
+                sources=("lesion_type",)),
+            Cat("cp_data", kind="derived", cardinality=2,
+                sources=("surgery", "age")),
+            Cat("pathology", kind="derived", cardinality=12,
+                sources=("lesion_site", "lesion_type")),
+        )
+    )
+    return DatasetSpec("horse", tuple(columns), seed=seed)
+
+
+def fd_reduced_spec(num_columns: int = 30, seed: int = 67) -> DatasetSpec:
+    """The synthetic fd-reduced generator: planted low-level dependencies.
+
+    The original fd-reduced-30 is produced by the dbtesma data generator
+    from a specification of planted FDs, which is why its 89 571 minimal
+    FDs sit at low lattice levels and its FD count stays flat as rows grow
+    (Fig. 6).  We mirror that: the first third of the columns are
+    independent draws, every later column is a function of three earlier
+    ones, so discovered FDs concentrate at levels <= 3 regardless of the
+    row count.
+    """
+    if num_columns < 1:
+        raise ValueError("fd-reduced needs at least one column")
+    # Domains scale with the row count (ratios straddling sqrt-collision
+    # territory) so that accidental minimal FDs settle at lattice level 2
+    # whatever the sweep size — the flat FD-count curve of Fig. 6.
+    ratios = (0.9, 0.75, 0.6, 0.5, 0.8)
+    columns = tuple(
+        Cat(f"col_{index}", cardinality_ratio=ratios[index % len(ratios)])
+        for index in range(num_columns)
+    )
+    return DatasetSpec(f"fd-reduced-{num_columns}", tuple(columns), seed=seed)
+
+
+def _wide_spec(
+    name: str,
+    num_columns: int,
+    seed: int,
+    key_period: int = 29,
+    derived_period: int = 2,
+    cards: tuple[int, ...] = (5, 11, 27, 80, 300),
+    noise_period: int = 17,
+    max_independent: int = 30,
+) -> DatasetSpec:
+    """Shared shape of the wide sparse web datasets (plista/flight/uniprot).
+
+    A repeating mix of categorical domains, occasional near-key columns,
+    many derived columns (web-scraped tables repeat the same information
+    in several formats — the source of their enormous FD counts), a
+    sprinkle of constants, and rare noisy derivations.
+
+    ``max_independent`` caps the independent categorical columns; beyond
+    the cap every further column is derived.  Real wide web tables are
+    exactly this redundant — uniprot's 223 columns carry nowhere near 223
+    independent dimensions — and the cap keeps minimal-FD counts in the
+    paper's order of magnitude instead of exploding combinatorially.
+    """
+    columns: list[ColumnSpec] = [Cat("col_0", cardinality=cards[-1])]
+    independents = 1
+    for index in range(1, num_columns):
+        if index % key_period == key_period - 1:
+            columns.append(Cat(f"col_{index}", kind="key"))
+        elif index % 23 == 11:
+            columns.append(Cat(f"col_{index}", kind="constant"))
+        elif index >= 2 and (
+            index % derived_period == 0 or independents >= max_independent
+        ):
+            span = 1 + index % 2
+            sources = tuple(
+                f"col_{source}" for source in range(index - span, index)
+            )
+            noise = 0.02 if index % noise_period == 0 else 0.0
+            columns.append(
+                Cat(f"col_{index}", kind="derived", sources=sources,
+                    cardinality=cards[index % len(cards)] + 1, noise=noise)
+            )
+        else:
+            independents += 1
+            columns.append(
+                Cat(f"col_{index}", cardinality=cards[index % len(cards)],
+                    skew=0.5 * (index % 3))
+            )
+    return DatasetSpec(name, tuple(columns), seed=seed)
+
+
+def plista_spec(num_columns: int = 63, seed: int = 71) -> DatasetSpec:
+    """1001x63 web-advertising logs."""
+    return _wide_spec("plista", num_columns, seed, key_period=13)
+
+
+def flight_spec(num_columns: int = 109, seed: int = 73) -> DatasetSpec:
+    """1000x109 flight status records."""
+    return _wide_spec("flight", num_columns, seed, key_period=11)
+
+
+def uniprot_spec(num_columns: int = 223, seed: int = 79) -> DatasetSpec:
+    """1000x223 protein annotations — the widest dataset of Table III."""
+    return _wide_spec("uniprot", num_columns, seed, key_period=17,
+                      derived_period=3, cards=(4, 9, 30, 90, 400),
+                      max_independent=24)

@@ -1,0 +1,31 @@
+"""The paper's running example: the patient dataset of Table I.
+
+Used throughout the documentation and by the tests that reproduce the
+paper's worked examples (Examples 1-6, Figures 2-5).
+"""
+
+from __future__ import annotations
+
+from ..relation.relation import Relation
+
+COLUMNS = ("Name", "Age", "Blood pressure", "Gender", "Medicine")
+
+_ROWS = (
+    ("Kelly", 60, "High", "Female", "drugA"),
+    ("Jack", 32, "Low", "Male", "drugC"),
+    ("Nancy", 28, "Normal", "Female", "drugX"),
+    ("Lily", 49, "Low", "Female", "drugY"),
+    ("Ophelia", 32, "Normal", "Female", "drugX"),
+    ("Anna", 49, "Normal", "Female", "drugX"),
+    ("Esther", 32, "Low", "Female", "drugC"),
+    ("Richard", 41, "Normal", "Male", "drugY"),
+    ("Taylor", 25, "Low", "Gender-queer", "drugC"),
+)
+
+# Attribute indices, matching the paper's initials N, A, B, G, M.
+NAME, AGE, BLOOD_PRESSURE, GENDER, MEDICINE = range(5)
+
+
+def patients() -> Relation:
+    """Table I as a relation (tuples t1..t9 in row order)."""
+    return Relation.from_rows(_ROWS, COLUMNS, name="patients")

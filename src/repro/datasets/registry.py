@@ -1,0 +1,116 @@
+"""Catalogue of the 19 Table III benchmark datasets.
+
+Each entry records the paper's published characteristics (row/column/FD
+counts — used by EXPERIMENTS.md when comparing shapes) together with the
+generator producing our stand-in relation and the scaled default sizes the
+benchmark harness runs at so that the whole Table III reproduction
+finishes on a laptop.  ``make(name, rows=..., columns=...)`` produces any
+size on demand, up to and including the paper's original scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable
+
+from ..relation.relation import Relation
+from . import generators
+from .engine import DatasetSpec, generate
+
+
+@dataclass(frozen=True)
+class DatasetInfo:
+    """Registry entry: paper-reported shape + our generator and bench scale."""
+
+    name: str
+    paper_rows: int
+    paper_columns: int
+    paper_fds: int | None  # None where Table III reports "unknown"
+    bench_rows: int
+    bench_columns: int | None  # None = the generator's full width
+    spec_builder: Callable[..., DatasetSpec]
+    column_parameter: bool = False  # builder accepts num_columns
+
+    def spec(self, columns: int | None = None, seed: int | None = None) -> DatasetSpec:
+        kwargs: dict[str, int] = {}
+        if columns is not None:
+            if not self.column_parameter:
+                raise ValueError(f"{self.name} has a fixed schema of "
+                                 f"{self.paper_columns} columns")
+            kwargs["num_columns"] = columns
+        if seed is not None:
+            kwargs["seed"] = seed
+        return self.spec_builder(**kwargs)
+
+    def make(
+        self,
+        rows: int | None = None,
+        columns: int | None = None,
+        seed: int | None = None,
+    ) -> Relation:
+        """Generate the dataset at the requested (default: bench) scale."""
+        if rows is None:
+            rows = self.bench_rows
+        if columns is None and self.column_parameter:
+            columns = self.bench_columns
+        return generate(self.spec(columns=columns, seed=seed), rows)
+
+
+_ENTRIES = (
+    DatasetInfo("iris", 150, 5, 4, 150, None, generators.iris_spec),
+    DatasetInfo("balance-scale", 625, 5, 1, 625, None,
+                generators.balance_scale_spec),
+    DatasetInfo("chess", 28056, 7, 1, 4000, None, generators.chess_spec),
+    DatasetInfo("abalone", 4177, 9, 137, 1500, None, generators.abalone_spec),
+    DatasetInfo("nursery", 12960, 9, 1, 3000, None, generators.nursery_spec),
+    DatasetInfo("breast-cancer", 699, 11, 46, 699, None,
+                generators.breast_cancer_spec),
+    DatasetInfo("bridges", 108, 13, 142, 108, None, generators.bridges_spec),
+    DatasetInfo("echocardiogram", 132, 13, 527, 132, None,
+                generators.echocardiogram_spec),
+    DatasetInfo("adult", 32561, 15, 78, 2000, None, generators.adult_spec),
+    DatasetInfo("lineitem", 6001215, 16, 3879, 4000, None,
+                generators.lineitem_spec),
+    DatasetInfo("letter", 20000, 17, 61, 1500, None, generators.letter_spec),
+    DatasetInfo("weather", 262920, 18, 918, 3000, None,
+                generators.weather_spec),
+    DatasetInfo("ncvoter", 1000, 19, 758, 500, None, generators.ncvoter_spec),
+    DatasetInfo("hepatitis", 155, 20, 8250, 155, None,
+                generators.hepatitis_spec),
+    DatasetInfo("horse", 300, 28, 139725, 150, None, generators.horse_spec),
+    DatasetInfo("fd-reduced-30", 250000, 30, 89571, 2000, 30,
+                generators.fd_reduced_spec, column_parameter=True),
+    DatasetInfo("plista", 1001, 63, 178152, 400, 20, generators.plista_spec,
+                column_parameter=True),
+    DatasetInfo("flight", 1000, 109, 982631, 400, 24, generators.flight_spec,
+                column_parameter=True),
+    DatasetInfo("uniprot", 1000, 223, None, 400, 24, generators.uniprot_spec,
+                column_parameter=True),
+)
+
+_BY_NAME = {entry.name: entry for entry in _ENTRIES}
+
+
+def dataset_names() -> list[str]:
+    """All registered dataset names, in Table III order."""
+    return [entry.name for entry in _ENTRIES]
+
+
+def info(name: str) -> DatasetInfo:
+    """Registry entry by name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {dataset_names()}"
+        ) from None
+
+
+def make(
+    name: str,
+    rows: int | None = None,
+    columns: int | None = None,
+    seed: int | None = None,
+) -> Relation:
+    """Generate a registered dataset (default: its bench scale)."""
+    return info(name).make(rows=rows, columns=columns, seed=seed)

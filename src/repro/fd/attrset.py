@@ -1,0 +1,151 @@
+"""Attribute sets represented as integer bitmasks.
+
+Every algorithm in this package manipulates sets of attributes (columns of a
+relation) at very high frequency: agree sets of tuple pairs, left-hand sides
+of functional dependencies, lattice nodes, intersections stored in tree
+nodes.  Representing these sets as Python ``int`` bitmasks makes every set
+operation a single machine-word (or big-int) instruction:
+
+* union            ``x | y``
+* intersection     ``x & y``
+* difference       ``x & ~y``
+* subset test      ``x & ~y == 0``  (``is_subset``)
+* membership       ``x >> i & 1``
+
+The helpers below give those idioms names, and provide conversions between
+bitmasks, index iterables, and human-readable attribute names.  The
+convention throughout the code base is that attribute ``i`` of a relation
+corresponds to bit ``1 << i``.
+
+The module is deliberately free of classes: a bitmask *is* an int, so any
+wrapper object would force an allocation per set in the hot loops.  The
+:class:`repro.fd.fd.FD` value type wraps masks only at API boundaries.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+EMPTY: int = 0
+"""The empty attribute set."""
+
+
+def singleton(index: int) -> int:
+    """Return the attribute set containing only attribute ``index``."""
+    if index < 0:
+        raise ValueError(f"attribute index must be non-negative, got {index}")
+    return 1 << index
+
+
+def from_indices(indices: Iterable[int]) -> int:
+    """Build a bitmask from an iterable of attribute indices."""
+    mask = 0
+    for index in indices:
+        mask |= singleton(index)
+    return mask
+
+
+def to_indices(mask: int) -> Iterator[int]:
+    """Yield the attribute indices contained in ``mask`` in ascending order."""
+    if mask < 0:
+        raise ValueError(f"attribute mask must be non-negative, got {mask}")
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def to_tuple(mask: int) -> tuple[int, ...]:
+    """Return the attribute indices of ``mask`` as a tuple."""
+    return tuple(to_indices(mask))
+
+
+def universe(num_attributes: int) -> int:
+    """Return the set of all attributes ``{0, ..., num_attributes - 1}``."""
+    if num_attributes < 0:
+        raise ValueError(
+            f"number of attributes must be non-negative, got {num_attributes}"
+        )
+    return (1 << num_attributes) - 1
+
+
+def size(mask: int) -> int:
+    """Return the cardinality of the attribute set (popcount)."""
+    return mask.bit_count()
+
+
+def contains(mask: int, index: int) -> bool:
+    """Return True if attribute ``index`` is a member of ``mask``."""
+    return (mask >> index) & 1 == 1
+
+
+def is_subset(inner: int, outer: int) -> bool:
+    """Return True if ``inner`` is a (non-strict) subset of ``outer``."""
+    return inner & ~outer == 0
+
+
+def is_proper_subset(inner: int, outer: int) -> bool:
+    """Return True if ``inner`` is a strict subset of ``outer``."""
+    return inner != outer and inner & ~outer == 0
+
+
+def add(mask: int, index: int) -> int:
+    """Return ``mask`` with attribute ``index`` added."""
+    return mask | singleton(index)
+
+
+def remove(mask: int, index: int) -> int:
+    """Return ``mask`` with attribute ``index`` removed."""
+    return mask & ~singleton(index)
+
+
+def lowest_bit(mask: int) -> int:
+    """Return the index of the lowest set attribute.
+
+    Raises ``ValueError`` on the empty set.
+    """
+    if mask == 0:
+        raise ValueError("the empty attribute set has no lowest attribute")
+    return (mask & -mask).bit_length() - 1
+
+
+def subsets_one_smaller(mask: int) -> Iterator[int]:
+    """Yield every subset of ``mask`` obtained by dropping a single attribute.
+
+    Used by lattice-traversal algorithms to enumerate the direct
+    generalizations of a candidate LHS.
+    """
+    remaining = mask
+    while remaining:
+        low = remaining & -remaining
+        yield mask ^ low
+        remaining ^= low
+
+
+def all_subsets(mask: int) -> Iterator[int]:
+    """Yield every subset of ``mask`` including the empty set and itself.
+
+    The classic bit-twiddling subset enumeration; exponential in
+    ``size(mask)``, so callers only use this on small sets (tests, the
+    brute-force oracle).
+    """
+    subset = mask
+    while True:
+        yield subset
+        if subset == 0:
+            return
+        subset = (subset - 1) & mask
+
+
+def format_mask(mask: int, names: Iterable[str] | None = None) -> str:
+    """Render a mask using attribute ``names``, or indices when absent.
+
+    >>> format_mask(0b101, ["Name", "Age", "Gender"])
+    '{Name, Gender}'
+    """
+    if names is None:
+        labels = [str(i) for i in to_indices(mask)]
+    else:
+        names = list(names)
+        labels = [names[i] for i in to_indices(mask)]
+    return "{" + ", ".join(labels) + "}"

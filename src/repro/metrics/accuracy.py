@@ -1,0 +1,74 @@
+"""Accuracy metrics over FD sets (Section V-B).
+
+The paper scores approximate algorithms by the F1 measure between the
+discovered set of non-trivial minimal FDs and the ground truth produced by
+an exact algorithm — plain set precision/recall, no logical-implication
+credit.  :func:`fd_set_metrics` computes exactly that; the semantic
+comparison (:func:`semantic_equivalence`) exists separately for tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable
+
+from ..fd import FD, inference
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Precision / recall / F1 of a discovered FD set against ground truth."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        found = self.true_positives + self.false_positives
+        return self.true_positives / found if found else 1.0
+
+    @property
+    def recall(self) -> float:
+        truth = self.true_positives + self.false_negatives
+        return self.true_positives / truth if truth else 1.0
+
+    @property
+    def f1(self) -> float:
+        denominator = self.precision + self.recall
+        if denominator == 0.0:
+            return 0.0
+        return 2.0 * self.precision * self.recall / denominator
+
+    def __str__(self) -> str:
+        return (
+            f"precision={self.precision:.3f} recall={self.recall:.3f} "
+            f"f1={self.f1:.3f}"
+        )
+
+
+def fd_set_metrics(found: Iterable[FD], truth: Iterable[FD]) -> AccuracyReport:
+    """Set-based precision/recall/F1 between two minimal FD collections."""
+    found_set = set(found)
+    truth_set = set(truth)
+    true_positives = len(found_set & truth_set)
+    return AccuracyReport(
+        true_positives=true_positives,
+        false_positives=len(found_set) - true_positives,
+        false_negatives=len(truth_set) - true_positives,
+    )
+
+
+def f1_score(found: Iterable[FD], truth: Iterable[FD]) -> float:
+    """Shorthand for ``fd_set_metrics(found, truth).f1``."""
+    return fd_set_metrics(found, truth).f1
+
+
+def semantic_equivalence(left: Iterable[FD], right: Iterable[FD]) -> bool:
+    """Logical equivalence of two covers under Armstrong's axioms.
+
+    Stricter than F1 = 1 on minimal covers in general (two different
+    minimal covers can be equivalent), used by integration tests to check
+    exact algorithms against each other.
+    """
+    return inference.equivalent(left, right)

@@ -1,0 +1,51 @@
+"""Runtime measurement helpers shared by the benchmark harness."""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass
+from collections.abc import Callable
+from typing import Any, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class TimedRun:
+    """Result of timing one callable: value plus wall-clock statistics."""
+
+    value: Any
+    seconds: float
+    repeats: int
+    all_seconds: tuple[float, ...]
+
+    @property
+    def best(self) -> float:
+        return min(self.all_seconds)
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.all_seconds)
+
+
+def timed(function: Callable[[], T], repeats: int = 1) -> TimedRun:
+    """Run ``function`` ``repeats`` times; report the median wall time.
+
+    The *last* return value is kept (all runs must be equivalent for the
+    timing to mean anything; discovery algorithms here are deterministic).
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    durations = []
+    value: T | None = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = function()
+        durations.append(time.perf_counter() - start)
+    return TimedRun(
+        value=value,
+        seconds=statistics.median(durations),
+        repeats=repeats,
+        all_seconds=tuple(durations),
+    )

@@ -1,0 +1,87 @@
+"""Vectorized FD validation against a full relation.
+
+Checking one FD ``X -> A`` on all tuples reduces to: group the rows by
+their ``X`` labels and test that each group is constant on ``A``.  The
+routines here do that with numpy — the LHS labels are folded into a single
+dense ``int64`` group key per row, and validity is two ``np.unique``
+calls — so validating the tens of thousands of candidates HyFD produces
+stays far from Python-loop speed.
+
+Used by HyFD's validation phase, the brute-force oracle, and the test
+suite's independent validity checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Submodule imports keep this importable inside the repro.fd package
+# initialization cycle (fd.armstrong -> relation -> validate -> fd).
+from ..fd import attrset
+from ..fd.fd import FD
+from .preprocess import PreprocessedRelation
+
+_FOLD_LIMIT = 1 << 62
+"""Re-densify group keys before the fold could overflow int64."""
+
+
+def group_keys(data: PreprocessedRelation, lhs: int) -> np.ndarray:
+    """Dense int64 group ids of each row's projection onto ``lhs``.
+
+    Rows share an id iff they agree on every attribute of ``lhs``.  The
+    per-column labels are folded positionally (``key*card + label``);
+    whenever the value range would overflow, the keys are re-densified via
+    ``np.unique`` so arbitrarily wide LHSs stay exact.
+    """
+    columns = list(attrset.to_indices(lhs))
+    num_rows = data.num_rows
+    if not columns or num_rows == 0:
+        return np.zeros(num_rows, dtype=np.int64)
+    matrix = data.matrix
+    keys = matrix[:, columns[0]].astype(np.int64)
+    bound = int(keys.max(initial=0)) + 1
+    for column in columns[1:]:
+        cardinality = int(matrix[:, column].max(initial=0)) + 1
+        if bound * cardinality >= _FOLD_LIMIT:
+            _, keys = np.unique(keys, return_inverse=True)
+            bound = int(keys.max(initial=0)) + 1
+            if bound * cardinality >= _FOLD_LIMIT:  # pragma: no cover
+                raise OverflowError("group key fold exceeded int64")
+        keys = keys * cardinality + matrix[:, column]
+        bound *= cardinality
+    return keys
+
+
+def fd_holds(data: PreprocessedRelation, fd: FD) -> bool:
+    """True when ``fd`` is valid on every tuple of the relation."""
+    if data.num_rows <= 1:
+        return True
+    keys = group_keys(data, fd.lhs)
+    rhs = data.matrix[:, fd.rhs].astype(np.int64)
+    rhs_cardinality = int(rhs.max(initial=0)) + 1
+    combined = keys * rhs_cardinality + rhs
+    return np.unique(keys).size == np.unique(combined).size
+
+
+def find_violation(data: PreprocessedRelation, fd: FD) -> tuple[int, int] | None:
+    """A witnessing tuple pair for an invalid FD, or None when valid.
+
+    The returned rows agree on ``fd.lhs`` and differ on ``fd.rhs``; HyFD
+    feeds the pair's full agree set back into its negative cover.
+    """
+    if data.num_rows <= 1:
+        return None
+    keys = group_keys(data, fd.lhs)
+    rhs = data.matrix[:, fd.rhs].astype(np.int64)
+    rhs_cardinality = int(rhs.max(initial=0)) + 1
+    combined = keys * rhs_cardinality + rhs
+    if np.unique(keys).size == np.unique(combined).size:
+        return None
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    sorted_rhs = rhs[order]
+    adjacent = (sorted_keys[1:] == sorted_keys[:-1]) & (
+        sorted_rhs[1:] != sorted_rhs[:-1]
+    )
+    position = int(np.nonzero(adjacent)[0][0])
+    return int(order[position]), int(order[position + 1])

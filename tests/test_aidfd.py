@@ -1,0 +1,73 @@
+"""Tests for the AID-FD approximate baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import AidFd, BruteForce
+from repro.fd import FD
+from repro.metrics import f1_score
+from repro.relation import Relation
+
+
+class TestDiscovery:
+    def test_patients_exact_on_small_data(self, patient_relation):
+        truth = BruteForce().discover(patient_relation).fds
+        result = AidFd().discover(patient_relation)
+        assert result.fds == truth
+
+    def test_deterministic(self, patient_relation):
+        assert (
+            AidFd().discover(patient_relation).fds
+            == AidFd().discover(patient_relation).fds
+        )
+
+    def test_stats(self, patient_relation):
+        stats = AidFd().discover(patient_relation).stats
+        assert stats["sweeps"] >= 1
+        assert stats["pairs_compared"] > 0
+        assert stats["ncover_size"] > 0
+
+    def test_empty_relation(self):
+        assert AidFd().discover(Relation.from_rows([], ["a"])).fds == {FD(0, 0)}
+
+    def test_all_unique_relation(self):
+        relation = Relation.from_rows([(1, "a"), (2, "b")], ["x", "y"])
+        result = AidFd().discover(relation)
+        assert result.fds == {FD.of([0], 1), FD.of([1], 0)}
+
+
+class TestTermination:
+    def test_max_sweeps_caps_sampling(self, patient_relation):
+        capped = AidFd(max_sweeps=1).discover(patient_relation)
+        assert capped.stats["sweeps"] == 1
+
+    def test_zero_threshold_exhausts_clusters(self, patient_relation):
+        """threshold 0 only stops on an unproductive sweep, so more pairs
+        get compared than with the default threshold."""
+        eager = AidFd(threshold=0.5).discover(patient_relation)
+        thorough = AidFd(threshold=0.0).discover(patient_relation)
+        assert (
+            thorough.stats["pairs_compared"] >= eager.stats["pairs_compared"]
+        )
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            AidFd(threshold=-0.5)
+
+
+class TestAccuracyOrdering:
+    def test_lower_threshold_is_at_least_as_accurate(self):
+        import random
+
+        rng = random.Random(31)
+        rows = [
+            (rng.randint(0, 19), rng.randint(0, 19), rng.randint(0, 4),
+             rng.randint(0, 39))
+            for _ in range(200)
+        ]
+        relation = Relation.from_rows(rows)
+        truth = BruteForce().discover(relation).fds
+        loose = f1_score(AidFd(threshold=0.5).discover(relation).fds, truth)
+        tight = f1_score(AidFd(threshold=0.001).discover(relation).fds, truth)
+        assert tight >= loose

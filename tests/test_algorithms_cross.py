@@ -1,0 +1,108 @@
+"""Cross-algorithm properties: every exact algorithm must agree with the
+brute-force oracle on arbitrary relations, and the approximate ones must
+return FDs consistent with what they sampled."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import AidFd, BruteForce, EulerFD, Fdep, HyFD, Tane
+from repro.fd import inference
+from repro.metrics import semantic_equivalence
+from repro.relation import Relation, fd_holds, preprocess
+
+
+@st.composite
+def small_relations(draw):
+    num_columns = draw(st.integers(min_value=1, max_value=5))
+    num_rows = draw(st.integers(min_value=0, max_value=24))
+    cardinality = draw(st.integers(min_value=1, max_value=4))
+    rows = [
+        tuple(
+            draw(st.integers(min_value=0, max_value=cardinality))
+            for _ in range(num_columns)
+        )
+        for _ in range(num_rows)
+    ]
+    return Relation.from_rows(rows, [f"c{i}" for i in range(num_columns)])
+
+
+class TestExactAlgorithmsMatchOracle:
+    @given(small_relations())
+    @settings(max_examples=60, deadline=None)
+    def test_tane_matches_bruteforce(self, relation):
+        assert (
+            Tane().discover(relation).fds
+            == BruteForce().discover(relation).fds
+        )
+
+    @given(small_relations())
+    @settings(max_examples=60, deadline=None)
+    def test_fdep_matches_bruteforce(self, relation):
+        assert (
+            Fdep().discover(relation).fds
+            == BruteForce().discover(relation).fds
+        )
+
+    @given(small_relations())
+    @settings(max_examples=40, deadline=None)
+    def test_hyfd_matches_bruteforce(self, relation):
+        assert (
+            HyFD().discover(relation).fds
+            == BruteForce().discover(relation).fds
+        )
+
+    @given(small_relations())
+    @settings(max_examples=30, deadline=None)
+    def test_exact_covers_are_semantically_equivalent(self, relation):
+        left = Tane().discover(relation).fds
+        right = Fdep().discover(relation).fds
+        assert semantic_equivalence(left, right)
+
+
+class TestApproximateAlgorithmInvariants:
+    @given(small_relations())
+    @settings(max_examples=40, deadline=None)
+    def test_eulerfd_reports_minimal_antichains(self, relation):
+        result = EulerFD().discover(relation)
+        by_rhs: dict[int, list[int]] = {}
+        for fd in result.fds:
+            assert not fd.is_trivial()
+            by_rhs.setdefault(fd.rhs, []).append(fd.lhs)
+        for masks in by_rhs.values():
+            for left in masks:
+                for right in masks:
+                    if left != right:
+                        assert left & ~right != 0  # incomparable
+
+    @given(small_relations())
+    @settings(max_examples=40, deadline=None)
+    def test_eulerfd_never_misses_below_truth(self, relation):
+        """Approximate discovery can *overclaim* (miss violations) but
+        must never report an FD more general than a true minimal FD is
+        allowed to be: every true FD must be implied by the result."""
+        truth = BruteForce().discover(relation).fds
+        claimed = EulerFD().discover(relation).fds
+        for fd in truth:
+            assert inference.implies(claimed, fd)
+
+    @given(small_relations())
+    @settings(max_examples=40, deadline=None)
+    def test_aidfd_never_misses_below_truth(self, relation):
+        truth = BruteForce().discover(relation).fds
+        claimed = AidFd().discover(relation).fds
+        for fd in truth:
+            assert inference.implies(claimed, fd)
+
+    @given(small_relations())
+    @settings(max_examples=30, deadline=None)
+    def test_validated_fds_subset_of_claims(self, relation):
+        """Every claimed FD that happens to be valid must be minimal-valid
+        (its immediate generalizations are invalid)."""
+        data = preprocess(relation)
+        claimed = EulerFD().discover(relation).fds
+        truth = BruteForce().discover(relation).fds
+        for fd in claimed:
+            if fd_holds(data, fd):
+                assert fd in truth

@@ -1,0 +1,87 @@
+"""Tests for Armstrong relation synthesis."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import BruteForce
+from repro.fd import FD, attrset, inference
+from repro.fd.armstrong import armstrong_relation, closed_sets
+
+
+def fds_of(*pairs):
+    return [FD.of(lhs, rhs) for lhs, rhs in pairs]
+
+
+class TestClosedSets:
+    def test_no_fds_everything_closed(self):
+        assert len(closed_sets([], 3)) == 8
+
+    def test_simple_fd(self):
+        # 0 -> 1: sets containing 0 must contain 1.
+        closed = closed_sets(fds_of(([0], 1)), 2)
+        assert 0b01 not in closed  # {0} is not closed
+        assert set(closed) == {0b00, 0b10, 0b11}
+
+    def test_universe_always_closed(self):
+        for fds in ([], fds_of(([0], 1), ([1], 2))):
+            assert attrset.universe(3) in closed_sets(fds, 3)
+
+    def test_closed_sets_intersection_closed(self):
+        fds = fds_of(([0], 1), ([1, 2], 3), ([3], 0))
+        closed = closed_sets(fds, 4)
+        for left in closed:
+            for right in closed:
+                assert (left & right) in closed
+
+
+class TestArmstrongRelation:
+    def test_simple_cover_roundtrip(self):
+        fds = fds_of(([0], 1))
+        relation = armstrong_relation(fds, 3)
+        rediscovered = BruteForce().discover(relation).fds
+        assert inference.equivalent(rediscovered, fds)
+
+    def test_empty_cover(self):
+        relation = armstrong_relation([], 3)
+        rediscovered = BruteForce().discover(relation).fds
+        assert rediscovered == frozenset()  # nothing holds, nothing implied
+
+    def test_patients_cover_roundtrip(self, patient_relation):
+        original = BruteForce().discover(patient_relation).fds
+        witness = armstrong_relation(original, patient_relation.num_columns)
+        rediscovered = BruteForce().discover(witness).fds
+        assert inference.equivalent(rediscovered, original)
+
+    def test_base_row_is_zeroes(self):
+        relation = armstrong_relation(fds_of(([0], 1)), 2)
+        assert relation.row(0) == (0, 0)
+
+    def test_width_guard(self):
+        with pytest.raises(ValueError, match="max_attributes"):
+            armstrong_relation([], 20)
+        with pytest.raises(ValueError, match="at least one"):
+            armstrong_relation([], 0)
+
+    def test_custom_names(self):
+        relation = armstrong_relation([], 2, column_names=["x", "y"])
+        assert relation.column_names == ("x", "y")
+
+
+class TestRoundtripProperty:
+    small_fds = st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=(1 << 4) - 1),
+            st.integers(min_value=0, max_value=3),
+        ).map(lambda pair: FD(pair[0] & ~attrset.singleton(pair[1]), pair[1])),
+        max_size=6,
+    )
+
+    @given(small_fds)
+    @settings(max_examples=60, deadline=None)
+    def test_rediscovered_cover_is_equivalent(self, fds):
+        relation = armstrong_relation(fds, 4)
+        rediscovered = BruteForce().discover(relation).fds
+        assert inference.equivalent(rediscovered, fds)

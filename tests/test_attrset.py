@@ -1,0 +1,145 @@
+"""Unit and property tests for the bitmask attribute-set helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fd import attrset
+
+masks = st.integers(min_value=0, max_value=(1 << 24) - 1)
+indices = st.integers(min_value=0, max_value=23)
+
+
+class TestBasics:
+    def test_empty_is_zero(self):
+        assert attrset.EMPTY == 0
+        assert attrset.size(attrset.EMPTY) == 0
+
+    def test_singleton(self):
+        assert attrset.singleton(0) == 1
+        assert attrset.singleton(3) == 8
+
+    def test_singleton_rejects_negative(self):
+        with pytest.raises(ValueError):
+            attrset.singleton(-1)
+
+    def test_from_indices(self):
+        assert attrset.from_indices([0, 2, 5]) == 0b100101
+
+    def test_from_indices_empty(self):
+        assert attrset.from_indices([]) == attrset.EMPTY
+
+    def test_from_indices_duplicates_collapse(self):
+        assert attrset.from_indices([1, 1, 1]) == 0b10
+
+    def test_to_indices_ascending(self):
+        assert list(attrset.to_indices(0b100101)) == [0, 2, 5]
+
+    def test_to_tuple(self):
+        assert attrset.to_tuple(0b1010) == (1, 3)
+
+    def test_to_indices_rejects_negative(self):
+        with pytest.raises(ValueError):
+            list(attrset.to_indices(-1))
+
+    def test_universe(self):
+        assert attrset.universe(0) == 0
+        assert attrset.universe(3) == 0b111
+
+    def test_universe_rejects_negative(self):
+        with pytest.raises(ValueError):
+            attrset.universe(-2)
+
+    def test_contains(self):
+        assert attrset.contains(0b101, 0)
+        assert not attrset.contains(0b101, 1)
+        assert attrset.contains(0b101, 2)
+
+    def test_add_remove(self):
+        mask = attrset.add(0b001, 2)
+        assert mask == 0b101
+        assert attrset.remove(mask, 0) == 0b100
+        assert attrset.remove(mask, 1) == mask  # removing absent is a no-op
+
+    def test_lowest_bit(self):
+        assert attrset.lowest_bit(0b1000) == 3
+        assert attrset.lowest_bit(0b1010) == 1
+
+    def test_lowest_bit_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            attrset.lowest_bit(0)
+
+
+class TestSubsets:
+    def test_is_subset_reflexive(self):
+        assert attrset.is_subset(0b110, 0b110)
+
+    def test_is_subset_strict(self):
+        assert attrset.is_subset(0b100, 0b110)
+        assert not attrset.is_subset(0b110, 0b100)
+
+    def test_empty_subset_of_everything(self):
+        assert attrset.is_subset(0, 0b1011)
+        assert attrset.is_subset(0, 0)
+
+    def test_is_proper_subset(self):
+        assert attrset.is_proper_subset(0b100, 0b110)
+        assert not attrset.is_proper_subset(0b110, 0b110)
+
+    def test_subsets_one_smaller(self):
+        got = set(attrset.subsets_one_smaller(0b1011))
+        assert got == {0b1010, 0b1001, 0b0011}
+
+    def test_subsets_one_smaller_of_empty(self):
+        assert list(attrset.subsets_one_smaller(0)) == []
+
+    def test_all_subsets_count(self):
+        assert len(list(attrset.all_subsets(0b111))) == 8
+
+    def test_all_subsets_membership(self):
+        subsets = set(attrset.all_subsets(0b101))
+        assert subsets == {0b000, 0b001, 0b100, 0b101}
+
+
+class TestFormat:
+    def test_format_with_names(self):
+        assert attrset.format_mask(0b101, ["Name", "Age", "Gender"]) == (
+            "{Name, Gender}"
+        )
+
+    def test_format_without_names(self):
+        assert attrset.format_mask(0b110) == "{1, 2}"
+
+    def test_format_empty(self):
+        assert attrset.format_mask(0) == "{}"
+
+
+class TestProperties:
+    @given(masks)
+    def test_indices_roundtrip(self, mask):
+        assert attrset.from_indices(attrset.to_indices(mask)) == mask
+
+    @given(masks)
+    def test_size_matches_indices(self, mask):
+        assert attrset.size(mask) == len(list(attrset.to_indices(mask)))
+
+    @given(masks, masks)
+    def test_subset_via_sets(self, a, b):
+        expected = set(attrset.to_indices(a)) <= set(attrset.to_indices(b))
+        assert attrset.is_subset(a, b) == expected
+
+    @given(masks, indices)
+    def test_add_then_contains(self, mask, index):
+        assert attrset.contains(attrset.add(mask, index), index)
+
+    @given(masks, indices)
+    def test_remove_then_absent(self, mask, index):
+        assert not attrset.contains(attrset.remove(mask, index), index)
+
+    @given(st.integers(min_value=1, max_value=(1 << 24) - 1))
+    def test_subsets_one_smaller_are_proper(self, mask):
+        for subset in attrset.subsets_one_smaller(mask):
+            assert attrset.is_proper_subset(subset, mask)
+            assert attrset.size(subset) == attrset.size(mask) - 1

@@ -1,0 +1,203 @@
+"""Smoke tests for the experiment harness (tiny scales).
+
+The real experiments live in benchmarks/; here each harness module runs
+once on miniature workloads so regressions surface in the fast suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import ablation, dms, overall, parameters, scalability
+from repro.bench.runner import (
+    AlgorithmRun,
+    GroundTruthCache,
+    default_algorithms,
+    format_cell,
+    run_algorithm,
+)
+from repro.datasets import registry
+
+
+class TestRunner:
+    def test_default_algorithms_order(self):
+        assert list(default_algorithms()) == [
+            "Tane", "Fdep", "HyFD", "AID-FD", "EulerFD",
+        ]
+
+    def test_run_algorithm_success(self, patient_relation):
+        run = run_algorithm(default_algorithms()["EulerFD"], patient_relation)
+        assert run.ok
+        assert run.seconds is not None and run.seconds > 0
+        assert run.fds
+
+    def test_run_algorithm_budget_blowup_reports_ml(self, patient_relation):
+        from repro.algorithms import Tane
+
+        run = run_algorithm(lambda: Tane(max_level_width=1), patient_relation)
+        assert not run.ok
+        assert run.skipped == "ML"
+        assert run.fds is None
+
+    def test_ground_truth_cache_reuses(self, patient_relation):
+        cache = GroundTruthCache()
+        first = cache.truth_for(patient_relation)
+        second = cache.truth_for(patient_relation)
+        assert first is second
+        assert len(first) == 9
+
+    def test_ground_truth_cache_tall_path_uses_hyfd(self, patient_relation):
+        """Above the tall threshold the cache switches oracle; both paths
+        must agree since both are exact."""
+        short = GroundTruthCache().truth_for(patient_relation)
+        tall = GroundTruthCache(tall_threshold=1).truth_for(patient_relation)
+        assert short == tall
+
+    def test_format_cell(self):
+        assert format_cell(None) == "-"
+        assert format_cell("ML") == "ML"
+        assert format_cell(1.23456) == "1.235"
+        assert format_cell(2.0, precision=1) == "2.0"
+
+
+class TestOverall:
+    def test_table3_rows(self, capsys):
+        table = overall.run_table3(dataset_names=["iris", "bridges"], rows=60)
+        assert len(table) == 2
+        for row in table:
+            assert row.true_fds >= 0
+            euler = row.runs["EulerFD"]
+            assert euler.ok
+            assert row.f1["EulerFD"] is not None
+        overall.print_table3(table)
+        printed = capsys.readouterr().out
+        assert "Table III" in printed
+        assert "iris" in printed
+
+    def test_table3_skip_rules_mark_budget_cells(self, capsys):
+        table = overall.run_table3(
+            dataset_names=["bridges"],
+            rows=40,
+            skip_tane_above_columns=5,   # bridges has 13 columns
+            skip_fdep_above_rows=10,
+        )
+        row = table[0]
+        assert row.runs["Tane"].skipped == "ML"
+        assert row.runs["Fdep"].skipped == "TL"
+        assert row.runs["EulerFD"].ok
+        overall.print_table3(table)
+        printed = capsys.readouterr().out
+        assert "ML" in printed and "TL" in printed
+
+    def test_table3_truth_still_computed_when_oracles_skipped(self):
+        table = overall.run_table3(
+            dataset_names=["iris"],
+            rows=50,
+            skip_tane_above_columns=1,
+            skip_fdep_above_rows=1,
+        )
+        # Ground truth comes from the cache (HyFD fallback), not from the
+        # skipped table cells.
+        assert table[0].true_fds > 0
+        assert table[0].f1["EulerFD"] is not None
+
+
+class TestScalability:
+    def test_row_sweep(self):
+        series = scalability.row_scalability(
+            "fd-reduced-30",
+            row_counts=[50, 100],
+            algorithm_names=("AID-FD", "EulerFD"),
+            columns=8,
+        )
+        assert [point.x for point in series] == [50, 100]
+        for point in series:
+            assert point.runs["EulerFD"].ok
+
+    def test_column_sweep(self):
+        series = scalability.column_scalability(
+            "plista",
+            column_counts=[4, 6],
+            rows=80,
+            algorithm_names=("Fdep", "EulerFD"),
+        )
+        assert [point.x for point in series] == [4, 6]
+        for point in series:
+            assert point.runs["Fdep"].ok
+
+    def test_print_sweep(self, capsys):
+        series = scalability.row_scalability(
+            "iris", row_counts=[30], algorithm_names=("EulerFD",)
+        )
+        scalability.print_sweep("t", "rows", series, ("EulerFD",))
+        assert "rows" in capsys.readouterr().out
+
+
+class TestParameters:
+    def test_mlfq_sweep(self):
+        points = parameters.mlfq_sweep(
+            queue_counts=(1, 6), dataset_names=("iris",), rows=60
+        )
+        assert len(points) == 2
+        for point in points:
+            assert 0.0 <= point.f1 <= 1.0
+            assert point.algorithm == "EulerFD"
+
+    def test_threshold_sweep_ncover(self):
+        points = parameters.threshold_sweep(
+            thresholds=(0.1, 0.0),
+            dataset_names=("iris",),
+            vary="ncover",
+            rows=60,
+        )
+        algorithms = {point.algorithm for point in points}
+        assert algorithms == {"EulerFD", "AID-FD"}
+        assert len(points) == 4
+
+    def test_threshold_sweep_pcover(self):
+        points = parameters.threshold_sweep(
+            thresholds=(0.01,), dataset_names=("iris",), vary="pcover", rows=60
+        )
+        assert len(points) == 2
+
+    def test_invalid_vary_rejected(self):
+        with pytest.raises(ValueError):
+            parameters.threshold_sweep(vary="both")
+
+    def test_print_points(self, capsys):
+        points = parameters.mlfq_sweep(
+            queue_counts=(6,), dataset_names=("iris",), rows=40
+        )
+        parameters.print_points("Fig10", "queues", points)
+        assert "Fig10" in capsys.readouterr().out
+
+
+class TestDms:
+    def test_small_fleet_report(self, capsys):
+        report = dms.run_dms(
+            datasets_per_bucket=1,
+            row_buckets=((1, 10), (11, 50)),
+            column_buckets=((2, 5), (6, 10)),
+        )
+        assert report.grid
+        cell = next(iter(report.grid.values()))
+        assert cell.datasets == 1
+        dms.print_dms(report)
+        assert "Table V" in capsys.readouterr().out
+
+    def test_tau_none_when_unscored(self):
+        accumulator = dms.BucketAccumulator()
+        assert accumulator.tau_e is None
+        assert accumulator.tau_a is None
+
+
+class TestAblation:
+    def test_variants_cover_design_choices(self):
+        names = set(ablation.variants())
+        assert names == {"full", "single-queue", "single-cycle", "adaptive"}
+
+    def test_run_ablation(self, capsys):
+        points = ablation.run_ablation(dataset_names=("iris",), rows=60)
+        assert len(points) == 4
+        ablation.print_ablation(points)
+        assert "Ablation" in capsys.readouterr().out

@@ -1,0 +1,36 @@
+"""Tests for the benchmark-report assembler."""
+
+from __future__ import annotations
+
+from repro.bench.report import SECTION_ORDER, build_report, main
+
+
+class TestBuildReport:
+    def test_empty_directory(self, tmp_path):
+        report = build_report(tmp_path)
+        assert "No archived benchmark results" in report
+
+    def test_ordered_sections(self, tmp_path):
+        (tmp_path / "test_fig6_row_scalability.txt").write_text("FIG6 DATA")
+        (tmp_path / "test_table3_small_datasets.txt").write_text("T3 DATA")
+        report = build_report(tmp_path)
+        assert report.index("Table III") < report.index("Figure 6")
+        assert "T3 DATA" in report
+        assert "FIG6 DATA" in report
+
+    def test_unknown_files_appended(self, tmp_path):
+        (tmp_path / "test_custom_thing.txt").write_text("CUSTOM")
+        report = build_report(tmp_path)
+        assert "test_custom_thing" in report
+        assert "CUSTOM" in report
+
+    def test_section_order_covers_all_paper_artifacts(self):
+        titles = " ".join(title for _, title in SECTION_ORDER)
+        for artifact in ("Table III", "Figure 6", "Figure 7", "Figure 8",
+                         "Figure 9", "Figure 10", "Figure 11", "Table V"):
+            assert artifact in titles
+
+    def test_main_prints(self, tmp_path, capsys):
+        (tmp_path / "test_x.txt").write_text("XDATA")
+        assert main([str(tmp_path)]) == 0
+        assert "XDATA" in capsys.readouterr().out

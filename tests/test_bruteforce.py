@@ -1,0 +1,74 @@
+"""Tests for the brute-force oracle itself (checked by hand)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import BruteForce
+from repro.fd import FD
+from repro.relation import Relation
+
+
+class TestHandVerified:
+    def test_two_column_functional(self):
+        relation = Relation.from_rows(
+            [(1, "a"), (2, "b"), (1, "a")], ["x", "y"]
+        )
+        result = BruteForce().discover(relation)
+        assert result.fds == {FD.of([0], 1), FD.of([1], 0)}
+
+    def test_two_column_one_direction(self):
+        relation = Relation.from_rows(
+            [(1, "a"), (2, "a"), (2, "a"), (3, "b")], ["x", "y"]
+        )
+        result = BruteForce().discover(relation)
+        assert result.fds == {FD.of([0], 1)}  # y -/-> x: 'a' maps to 1 and 2
+
+    def test_composite_minimal_lhs(self):
+        rows = [
+            (0, 0, "p"),
+            (0, 1, "q"),
+            (1, 0, "r"),
+            (1, 1, "s"),
+            (0, 0, "p"),
+        ]
+        relation = Relation.from_rows(rows, ["a", "b", "c"])
+        result = BruteForce().discover(relation)
+        # c is a key here (p,q,r,s distinct rows except the duplicate).
+        assert FD.of([0, 1], 2) in result.fds
+        assert FD.of([0], 2) not in result.fds
+        assert FD.of([2], 0) in result.fds
+        assert FD.of([2], 1) in result.fds
+
+    def test_paper_example1(self, patient_relation):
+        """Example 1: AB -> M holds, N -> B holds, G -/-> M."""
+        result = BruteForce().discover(patient_relation)
+        # N (a key) determines everything, so N -> B is subsumed by [N].
+        assert FD.of([0], 2) in result.fds
+        # AB -> M: A=Age(1), B=Blood(2), M=Medicine(4).
+        assert FD.of([1, 2], 4) in result.fds
+        # G -/-> M: no FD with LHS {Gender} and RHS Medicine.
+        assert FD.of([3], 4) not in result.fds
+
+    def test_trivial_fds_never_reported(self, patient_relation):
+        for fd in BruteForce().discover(patient_relation).fds:
+            assert not fd.is_trivial()
+
+    def test_minimality(self, patient_relation):
+        fds = BruteForce().discover(patient_relation).fds
+        for fd in fds:
+            for other in fds:
+                if other != fd and other.rhs == fd.rhs:
+                    assert not other.generalizes(fd)
+
+
+class TestGuards:
+    def test_width_guard(self):
+        relation = Relation.from_rows([tuple(range(20))])
+        with pytest.raises(ValueError, match="oracle"):
+            BruteForce(max_columns=14).discover(relation)
+
+    def test_width_guard_configurable(self):
+        relation = Relation.from_rows([tuple(range(16)), tuple(range(16))])
+        result = BruteForce(max_columns=16).discover(relation)
+        assert len(result.fds) > 0

@@ -1,0 +1,221 @@
+"""Tests for the negative and positive covers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fd import (
+    FD,
+    BitsetLhsIndex,
+    NegativeCover,
+    PositiveCover,
+    attribute_frequency_priority,
+    minimal_cover_from_fds,
+)
+
+# Attribute initials of the paper's patient schema: N=0, A=1, B=2, G=3, M=4.
+N, A, B, G, M = range(5)
+
+
+class TestNegativeCover:
+    def test_requires_positive_width(self):
+        with pytest.raises(ValueError):
+            NegativeCover(0)
+
+    def test_add_and_contains(self):
+        cover = NegativeCover(5)
+        assert cover.add(FD.of([A, B], M))
+        assert FD.of([A, B], M) in cover
+        assert len(cover) == 1
+
+    def test_rejects_trivial(self):
+        cover = NegativeCover(3)
+        with pytest.raises(ValueError):
+            cover.add(FD.of([0, 1], 1))
+
+    def test_generalization_is_redundant(self):
+        """Figure 4: BG -/-> N is discarded because MBG -/-> N exists."""
+        cover = NegativeCover(5)
+        cover.add(FD.of([M, B, G], N))
+        assert not cover.add(FD.of([B, G], N))
+        assert len(cover) == 1
+
+    def test_specialization_evicts_generalization(self):
+        cover = NegativeCover(5)
+        cover.add(FD.of([B, G], N))
+        assert cover.add(FD.of([M, B, G], N))
+        assert len(cover) == 1
+        assert FD.of([B, G], N) not in cover
+        assert FD.of([M, B, G], N) in cover
+
+    def test_duplicate_is_rejected(self):
+        cover = NegativeCover(5)
+        cover.add(FD.of([A], B))
+        assert not cover.add(FD.of([A], B))
+
+    def test_same_lhs_different_rhs_kept_separately(self):
+        cover = NegativeCover(5)
+        assert cover.add(FD.of([A], B))
+        assert cover.add(FD.of([A], M))
+        assert len(cover) == 2
+
+    def test_covers_generalizations(self):
+        cover = NegativeCover(5)
+        cover.add(FD.of([A, B, G], M))
+        assert cover.covers(FD.of([A, B], M))  # Lemma 1
+        assert cover.covers(FD.of([A, B, G], M))
+        assert not cover.covers(FD.of([A, B, M], N))
+
+    def test_add_all_counts_growth(self):
+        cover = NegativeCover(5)
+        added = cover.add_all(
+            [FD.of([A], B), FD.of([A], B), FD.of([A, G], B)]
+        )
+        assert added == 2  # duplicate skipped, specialization evicts
+        assert len(cover) == 1
+
+    def test_iteration_yields_fds(self):
+        cover = NegativeCover(3)
+        cover.add(FD.of([0], 1))
+        cover.add(FD.of([1], 2))
+        assert set(cover) == {FD.of([0], 1), FD.of([1], 2)}
+
+    def test_paper_figure4_contents(self):
+        """Alg. 2 on AMB, MBG, BG, AG -> N keeps exactly AMB, MBG, AG."""
+        cover = NegativeCover(5)
+        for lhs in ([A, M, B], [M, B, G], [B, G], [A, G]):
+            cover.add(FD.of(lhs, N))
+        assert set(cover) == {
+            FD.of([A, M, B], N),
+            FD.of([M, B, G], N),
+            FD.of([A, G], N),
+        }
+
+
+class TestNegativeCoverAntichain:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=(1 << 6) - 1),
+                st.integers(min_value=0, max_value=6),
+            ),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=150)
+    def test_stored_masks_form_antichain_of_maxima(self, raw):
+        cover = NegativeCover(7)
+        inserted: set[tuple[int, int]] = set()
+        for lhs, rhs in raw:
+            lhs &= ~(1 << rhs)  # keep non-trivial
+            cover.add(FD(lhs, rhs))
+            inserted.add((lhs, rhs))
+        for rhs in range(7):
+            stored = cover.lhs_masks(rhs)
+            # Antichain: no stored mask contains another.
+            for left in stored:
+                for right in stored:
+                    if left != right:
+                        assert left & ~right != 0
+            # Maxima: every stored mask was inserted, and every inserted
+            # mask is covered by some stored one.
+            originals = {lhs for lhs, r in inserted if r == rhs}
+            assert set(stored) <= originals
+            for lhs in originals:
+                assert any(lhs & ~kept == 0 for kept in stored)
+
+
+class TestPositiveCover:
+    def test_seeded_with_most_general(self):
+        cover = PositiveCover(3)
+        assert len(cover) == 3
+        assert FD(0, 0) in cover and FD(0, 2) in cover
+
+    def test_unseeded(self):
+        cover = PositiveCover(3, seed_most_general=False)
+        assert len(cover) == 0
+
+    def test_add_blocked_by_generalization(self):
+        cover = PositiveCover(4, seed_most_general=False)
+        cover.add(FD.of([0], 3))
+        assert not cover.add(FD.of([0, 1], 3))
+        assert len(cover) == 1
+
+    def test_add_evicts_specializations(self):
+        cover = PositiveCover(4, seed_most_general=False)
+        cover.add(FD.of([0, 1], 3))
+        cover.add(FD.of([0, 2], 3))
+        assert cover.add(FD.of([0], 3))
+        assert set(cover) == {FD.of([0], 3)}
+
+    def test_add_minimal_skips_eviction_check(self):
+        cover = PositiveCover(4, seed_most_general=False)
+        assert cover.add_minimal(FD.of([0], 3))
+        assert not cover.add_minimal(FD.of([0], 3))
+        assert len(cover) == 1
+
+    def test_remove(self):
+        cover = PositiveCover(3)
+        assert cover.remove(FD(0, 1))
+        assert not cover.remove(FD(0, 1))
+        assert len(cover) == 2
+
+    def test_find_generalizations(self):
+        cover = PositiveCover(4, seed_most_general=False)
+        cover.add(FD.of([0], 3))
+        cover.add(FD.of([1], 3))
+        cover.add(FD.of([2], 1))
+        generals = cover.find_generalizations(FD.of([0, 1, 2], 3))
+        assert generals == [0b001, 0b010]
+
+    def test_rejects_trivial(self):
+        cover = PositiveCover(3, seed_most_general=False)
+        with pytest.raises(ValueError):
+            cover.add(FD.of([1], 1))
+
+    def test_to_fd_set_snapshot(self):
+        cover = PositiveCover(2)
+        snapshot = cover.to_fd_set()
+        cover.remove(FD(0, 0))
+        assert FD(0, 0) in snapshot
+
+    def test_custom_index_factory(self):
+        cover = PositiveCover(3, index_factory=BitsetLhsIndex)
+        assert len(cover) == 3
+        # Adding a specialization of the seeded {} -> 1 is correctly blocked.
+        assert not cover.add(FD.of([0], 1))
+        cover.remove(FD(0, 1))
+        assert cover.add(FD.of([0], 1))
+        assert FD.of([0], 1) in cover
+
+
+class TestMinimalCoverFromFds:
+    def test_drops_trivial(self):
+        fds = [FD.of([0, 1], 1), FD.of([0], 2)]
+        assert minimal_cover_from_fds(fds, 3) == {FD.of([0], 2)}
+
+    def test_drops_dominated(self):
+        fds = [FD.of([0], 2), FD.of([0, 1], 2)]
+        assert minimal_cover_from_fds(fds, 3) == {FD.of([0], 2)}
+
+    def test_keeps_incomparable(self):
+        fds = [FD.of([0], 2), FD.of([1], 2)]
+        assert minimal_cover_from_fds(fds, 3) == set(fds)
+
+    def test_empty(self):
+        assert minimal_cover_from_fds([], 3) == set()
+
+
+class TestAttributeFrequencyPriority:
+    def test_rare_attributes_ranked_first(self):
+        non_fds = [FD.of([0, 1], 2), FD.of([0], 2), FD.of([0, 1], 3)]
+        priority = attribute_frequency_priority(non_fds, 4)
+        # Attribute 0 appears 3x, 1 appears 2x, 2/3 never.
+        assert priority[2] < priority[0]
+        assert priority[3] < priority[1] < priority[0]
+
+    def test_ties_break_by_index(self):
+        priority = attribute_frequency_priority([], 3)
+        assert list(priority) == [0, 1, 2]

@@ -1,0 +1,208 @@
+"""Tests for the synthetic dataset engine, generators, and registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import Fdep
+from repro.datasets import (
+    ColumnSpec,
+    DatasetSpec,
+    dataset_names,
+    generate,
+    info,
+    make,
+    patients,
+    planted_fd_columns,
+)
+from repro.datasets import generators
+from repro.fd import FD
+from repro.relation import fd_holds, preprocess
+
+
+class TestEngine:
+    def test_deterministic(self):
+        spec = generators.adult_spec()
+        left = generate(spec, 100)
+        right = generate(spec, 100)
+        assert left.columns == right.columns
+
+    def test_seed_changes_data(self):
+        left = generate(generators.adult_spec(seed=1), 100)
+        right = generate(generators.adult_spec(seed=2), 100)
+        assert left.columns != right.columns
+
+    def test_key_columns_are_unique(self):
+        spec = DatasetSpec("t", (ColumnSpec("k", kind="key"),))
+        relation = generate(spec, 50)
+        assert len(set(relation.column("k"))) == 50
+
+    def test_constant_columns(self):
+        spec = DatasetSpec("t", (ColumnSpec("c", kind="constant"),))
+        assert len(set(generate(spec, 20).column("c"))) == 1
+
+    def test_cardinality_respected(self):
+        spec = DatasetSpec("t", (ColumnSpec("c", cardinality=3),))
+        values = set(generate(spec, 500).column("c"))
+        assert len(values) <= 3
+
+    def test_cardinality_ratio_scales_with_rows(self):
+        spec = DatasetSpec(
+            "t", (ColumnSpec("c", cardinality_ratio=0.5),)
+        )
+        small = generate(spec, 100)
+        large = generate(spec, 1000)
+        assert len(set(large.column("c"))) > len(set(small.column("c")))
+
+    def test_derived_column_is_functional(self):
+        spec = DatasetSpec(
+            "t",
+            (
+                ColumnSpec("a", cardinality=5),
+                ColumnSpec("b", cardinality=5),
+                ColumnSpec("f", kind="derived", sources=("a", "b"),
+                           cardinality=7),
+            ),
+        )
+        relation = generate(spec, 300)
+        data = preprocess(relation)
+        assert fd_holds(data, FD.of([0, 1], 2))
+
+    def test_noisy_derived_column_is_violated(self):
+        spec = DatasetSpec(
+            "t",
+            (
+                ColumnSpec("a", cardinality=3),
+                ColumnSpec("f", kind="derived", sources=("a",),
+                           cardinality=5, noise=0.5),
+            ),
+        )
+        relation = generate(spec, 400)
+        assert not fd_holds(preprocess(relation), FD.of([0], 1))
+
+    def test_zero_rows(self):
+        assert generate(generators.iris_spec(), 0).num_rows == 0
+
+    def test_negative_rows_rejected(self):
+        with pytest.raises(ValueError):
+            generate(generators.iris_spec(), -1)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            ColumnSpec("x", kind="mystery")
+        with pytest.raises(ValueError, match="sources"):
+            ColumnSpec("x", kind="derived")
+        with pytest.raises(ValueError, match="noise"):
+            ColumnSpec("x", noise=1.5)
+        with pytest.raises(ValueError, match="cardinality_ratio"):
+            ColumnSpec("x", cardinality_ratio=0.0)
+
+    def test_spec_rejects_forward_references(self):
+        with pytest.raises(ValueError, match="declared before"):
+            DatasetSpec(
+                "t",
+                (
+                    ColumnSpec("f", kind="derived", sources=("a",)),
+                    ColumnSpec("a"),
+                ),
+            )
+
+    def test_spec_rejects_duplicate_names(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            DatasetSpec("t", (ColumnSpec("a"), ColumnSpec("a")))
+
+
+class TestPlantedFds:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            generators.iris_spec,
+            generators.adult_spec,
+            generators.weather_spec,
+            generators.ncvoter_spec,
+            generators.letter_spec,
+        ],
+    )
+    def test_noise_free_planted_fds_hold(self, builder):
+        spec = builder()
+        relation = generate(spec, 300)
+        data = preprocess(relation)
+        planted = planted_fd_columns(spec)
+        assert planted, f"{spec.name} should plant at least one FD"
+        name_to_index = {
+            name: i for i, name in enumerate(relation.column_names)
+        }
+        for sources, target in planted:
+            fd = FD.of(
+                [name_to_index[s] for s in sources], name_to_index[target]
+            )
+            assert fd_holds(data, fd), f"{spec.name}: {sources} -> {target}"
+
+    def test_planted_fds_discovered_by_exact_algorithm(self):
+        relation = make("iris", rows=150)
+        result = Fdep().discover(relation)
+        from repro.fd import inference
+
+        spec = generators.iris_spec()
+        name_to_index = {
+            name: i for i, name in enumerate(relation.column_names)
+        }
+        for sources, target in planted_fd_columns(spec):
+            fd = FD.of(
+                [name_to_index[s] for s in sources], name_to_index[target]
+            )
+            assert inference.implies(result.fds, fd)
+
+
+class TestRegistry:
+    def test_all_19_datasets_registered(self):
+        assert len(dataset_names()) == 19
+        assert dataset_names()[0] == "iris"
+        assert "uniprot" in dataset_names()
+
+    def test_info_lookup(self):
+        entry = info("adult")
+        assert entry.paper_rows == 32561
+        assert entry.paper_columns == 15
+        assert entry.paper_fds == 78
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            info("nonsense")
+
+    def test_make_default_scale(self):
+        relation = make("bridges")
+        assert relation.num_rows == info("bridges").bench_rows
+        assert relation.num_columns == 13
+
+    def test_make_custom_rows(self):
+        assert make("iris", rows=40).num_rows == 40
+
+    def test_column_parameter_datasets(self):
+        relation = make("plista", rows=50, columns=10)
+        assert relation.num_columns == 10
+
+    def test_fixed_schema_rejects_columns(self):
+        with pytest.raises(ValueError, match="fixed schema"):
+            make("iris", columns=3)
+
+    def test_paper_column_counts(self):
+        for name in dataset_names():
+            entry = info(name)
+            if entry.column_parameter:
+                continue
+            relation = entry.make(rows=5)
+            assert relation.num_columns == entry.paper_columns, name
+
+    def test_uniprot_fd_count_unknown(self):
+        assert info("uniprot").paper_fds is None
+
+
+class TestPatients:
+    def test_shape(self):
+        relation = patients()
+        assert relation.shape == (9, 5)
+        assert relation.column_names[0] == "Name"
+
+    def test_first_row_is_kelly(self):
+        assert patients().row(0) == ("Kelly", 60, "High", "Female", "drugA")

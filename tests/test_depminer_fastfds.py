@@ -1,0 +1,109 @@
+"""Tests for the difference-/agree-set baselines (Dep-Miner, FastFDs)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import BruteForce, DepMiner, FastFDs
+from repro.algorithms.depminer import (
+    maximal_agree_sets,
+    minimal_transversals_levelwise,
+)
+from repro.algorithms.fastfds import minimal_covers_dfs
+from repro.fd import attrset
+from repro.relation import Relation
+
+masks = st.integers(min_value=0, max_value=(1 << 7) - 1)
+
+
+def naive_minimal_hitting_sets(edges: list[int], vertices: int) -> set[int]:
+    if any(edge == 0 for edge in edges):
+        return set()
+    hitting = [
+        mask
+        for mask in attrset.all_subsets(vertices)
+        if all(edge & mask for edge in edges)
+    ]
+    minimal: set[int] = set()
+    for mask in sorted(hitting, key=attrset.size):
+        if not any(attrset.is_subset(kept, mask) for kept in minimal):
+            minimal.add(mask)
+    return minimal
+
+
+class TestMaximalAgreeSets:
+    def test_keeps_only_maximal(self):
+        agree = {0b001, 0b011, 0b100}
+        assert set(maximal_agree_sets(agree, 3)) == {0b011, 0b100}
+
+    def test_excludes_rhs_containing_sets(self):
+        agree = {0b101, 0b010}
+        assert maximal_agree_sets(agree, 0) == [0b010]
+
+    def test_empty_input(self):
+        assert maximal_agree_sets(set(), 0) == []
+
+
+class TestHittingSetEngines:
+    def test_no_edges_means_empty_transversal(self):
+        assert minimal_transversals_levelwise([], 0b111) == [0]
+        assert minimal_covers_dfs([], 0b111) == [0]
+
+    def test_unhittable_edge(self):
+        assert minimal_transversals_levelwise([0], 0b111) == []
+        assert minimal_covers_dfs([0], 0b111) == []
+
+    def test_textbook_instance(self):
+        # Edges {a,b}, {b,c}: minimal hitting sets {b}, {a,c}.
+        edges = [0b011, 0b110]
+        expected = {0b010, 0b101}
+        assert set(minimal_transversals_levelwise(edges, 0b111)) == expected
+        assert set(minimal_covers_dfs(edges, 0b111)) == expected
+
+    @given(st.lists(masks, min_size=0, max_size=8))
+    @settings(max_examples=150, deadline=None)
+    def test_both_engines_match_naive(self, edges):
+        vertices = (1 << 7) - 1
+        expected = naive_minimal_hitting_sets(edges, vertices)
+        if not edges:
+            expected = {0}
+        assert set(minimal_transversals_levelwise(edges, vertices)) == expected
+        assert set(minimal_covers_dfs(edges, vertices)) == expected
+
+
+class TestDiscovery:
+    def test_patients_depminer(self, patient_relation):
+        truth = BruteForce().discover(patient_relation).fds
+        assert DepMiner().discover(patient_relation).fds == truth
+
+    def test_patients_fastfds(self, patient_relation):
+        truth = BruteForce().discover(patient_relation).fds
+        assert FastFDs().discover(patient_relation).fds == truth
+
+    def test_empty_relation(self):
+        relation = Relation.from_rows([], ["a", "b"])
+        from repro.fd import FD
+
+        assert DepMiner().discover(relation).fds == {FD(0, 0), FD(0, 1)}
+        assert FastFDs().discover(relation).fds == {FD(0, 0), FD(0, 1)}
+
+    def test_stats_recorded(self, patient_relation):
+        dep = DepMiner().discover(patient_relation)
+        fast = FastFDs().discover(patient_relation)
+        assert dep.stats["hypergraph_edges"] > 0
+        assert fast.stats["difference_sets"] > 0
+
+    def test_randomized_cross_check(self):
+        import random
+
+        rng = random.Random(13)
+        for _ in range(10):
+            rows = [
+                tuple(rng.randint(0, 2) for _ in range(4))
+                for _ in range(rng.randint(2, 25))
+            ]
+            relation = Relation.from_rows(rows)
+            truth = BruteForce().discover(relation).fds
+            assert DepMiner().discover(relation).fds == truth
+            assert FastFDs().discover(relation).fds == truth

@@ -1,0 +1,75 @@
+"""Tests for the DFD randomized lattice-walk baseline."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import BruteForce
+from repro.algorithms.dfd import Dfd
+from repro.fd import FD
+from repro.relation import Relation
+
+
+class TestExactness:
+    def test_patients(self, patient_relation):
+        truth = BruteForce().discover(patient_relation).fds
+        assert Dfd().discover(patient_relation).fds == truth
+
+    def test_walk_seed_does_not_change_the_result(self, patient_relation):
+        results = {
+            Dfd(seed=seed).discover(patient_relation).fds
+            for seed in range(5)
+        }
+        assert len(results) == 1
+
+    def test_empty_relation(self):
+        relation = Relation.from_rows([], ["a", "b"])
+        assert Dfd().discover(relation).fds == {FD(0, 0), FD(0, 1)}
+
+    def test_constant_and_key(self):
+        relation = Relation.from_rows(
+            [(1, "c"), (2, "c"), (3, "c")], ["k", "const"]
+        )
+        result = Dfd().discover(relation)
+        # {} -> const dominates k -> const; const cannot determine the key.
+        assert result.fds == {FD(0, 1)}
+
+    def test_single_column(self):
+        assert Dfd().discover(Relation.from_rows([(1,), (1,)], ["a"])).fds == {
+            FD(0, 0)
+        }
+        assert (
+            Dfd().discover(Relation.from_rows([(1,), (2,)], ["a"])).fds
+            == frozenset()
+        )
+
+    def test_validations_cached(self, patient_relation):
+        stats = Dfd().discover(patient_relation).stats
+        # Far fewer validations than the full lattice (5 * 2^4 = 80).
+        assert 0 < stats["validations"] < 80
+
+
+class TestPropertyEquivalence:
+    @st.composite
+    @staticmethod
+    def small_relations(draw):
+        num_columns = draw(st.integers(min_value=1, max_value=5))
+        num_rows = draw(st.integers(min_value=0, max_value=20))
+        rows = [
+            tuple(
+                draw(st.integers(min_value=0, max_value=3))
+                for _ in range(num_columns)
+            )
+            for _ in range(num_rows)
+        ]
+        return Relation.from_rows(rows, [f"c{i}" for i in range(num_columns)])
+
+    @given(small_relations(), st.integers(min_value=0, max_value=3))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_bruteforce(self, relation, seed):
+        assert (
+            Dfd(seed=seed).discover(relation).fds
+            == BruteForce().discover(relation).fds
+        )

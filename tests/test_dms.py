@@ -1,0 +1,72 @@
+"""Tests for the simulated DMS fleet (Section V-G substrate)."""
+
+from __future__ import annotations
+
+from repro.datasets import COLUMN_BUCKETS, ROW_BUCKETS, fleet
+
+
+class TestFleet:
+    def test_covers_every_bucket(self):
+        members = list(fleet(datasets_per_bucket=1))
+        coordinates = {(m.row_bucket, m.column_bucket) for m in members}
+        assert coordinates == {
+            (r, c)
+            for r in range(len(ROW_BUCKETS))
+            for c in range(len(COLUMN_BUCKETS))
+        }
+
+    SMALL_GRID = dict(
+        row_buckets=((1, 10), (11, 60)),
+        column_buckets=((2, 6), (7, 12)),
+    )
+
+    def test_shapes_respect_buckets(self):
+        for member in fleet(datasets_per_bucket=2, **self.SMALL_GRID):
+            grid_rows = self.SMALL_GRID["row_buckets"]
+            grid_columns = self.SMALL_GRID["column_buckets"]
+            min_rows, max_rows = grid_rows[member.row_bucket]
+            min_columns, max_columns = grid_columns[member.column_bucket]
+            assert min_rows <= member.relation.num_rows <= max_rows
+            assert min_columns <= member.relation.num_columns <= max_columns
+
+    def test_full_grid_shapes(self):
+        for member in fleet(datasets_per_bucket=1):
+            min_rows, max_rows = ROW_BUCKETS[member.row_bucket]
+            min_columns, max_columns = COLUMN_BUCKETS[member.column_bucket]
+            assert min_rows <= member.relation.num_rows <= max_rows
+            assert min_columns <= member.relation.num_columns <= max_columns
+
+    def test_deterministic(self):
+        def snapshot(seed):
+            return [
+                member.relation.columns
+                for member in fleet(
+                    datasets_per_bucket=1, seed=seed, **self.SMALL_GRID
+                )
+            ]
+
+        assert snapshot(7) == snapshot(7)
+        assert snapshot(7) != snapshot(8)
+
+    def test_datasets_per_bucket(self):
+        members = list(fleet(datasets_per_bucket=3, **self.SMALL_GRID))
+        assert len(members) == 3 * 2 * 2
+
+    def test_custom_grid(self):
+        members = list(
+            fleet(
+                datasets_per_bucket=1,
+                row_buckets=((1, 5),),
+                column_buckets=((2, 3),),
+            )
+        )
+        assert len(members) == 1
+        assert members[0].relation.num_rows <= 5
+        assert 2 <= members[0].relation.num_columns <= 3
+
+    def test_discoverable(self):
+        from repro.core import EulerFD
+
+        member = next(iter(fleet(datasets_per_bucket=1)))
+        result = EulerFD().discover(member.relation)
+        assert result.num_columns == member.relation.num_columns

@@ -1,0 +1,95 @@
+"""Behavioural tests of the double-cycle control structure (Fig. 1).
+
+These tests pin the *mechanism* — how the growth rates steer control
+between sampling, negative-cover construction, and inversion — rather
+than end-to-end accuracy (covered in test_eulerfd.py).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.algorithms import BruteForce
+from repro.core import EulerFD, EulerFDConfig
+from repro.metrics import f1_score
+from repro.relation import Relation
+
+
+def structured_relation(rows: int = 400, seed: int = 3) -> Relation:
+    rng = random.Random(seed)
+    data = []
+    for _ in range(rows):
+        a = rng.randint(0, 24)
+        b = rng.randint(0, 24)
+        data.append((a, b, (a * 7 + b) % 12, rng.randint(0, 3), a % 5))
+    return Relation.from_rows(data, ["a", "b", "f", "noise", "amod"])
+
+
+class TestCycleAccounting:
+    def test_multiple_cycles_by_default(self):
+        result = EulerFD().discover(structured_relation())
+        assert result.stats["cycles"] >= 1
+        assert result.stats["inversions"] == result.stats["cycles"]
+
+    def test_single_cycle_runs_one_inversion(self):
+        config = EulerFDConfig(max_cycles=1)
+        result = EulerFD(config).discover(structured_relation())
+        assert result.stats["inversions"] == 1
+
+    def test_growth_rates_reported_below_thresholds_at_termination(self):
+        config = EulerFDConfig()
+        result = EulerFD(config).discover(structured_relation())
+        # Unless the cycle budget stopped it, the final growth rates obey
+        # the stopping criteria.
+        if result.stats["cycles"] < config.max_cycles:
+            assert result.stats["final_gr_ncover"] <= config.th_ncover
+            assert result.stats["final_gr_pcover"] <= config.th_pcover
+
+    def test_tighter_pcover_threshold_samples_at_least_as_much(self):
+        loose = EulerFD(EulerFDConfig(th_pcover=10.0)).discover(
+            structured_relation()
+        )
+        tight = EulerFD(EulerFDConfig(th_pcover=0.0)).discover(
+            structured_relation()
+        )
+        assert (
+            tight.stats["pairs_compared"] >= loose.stats["pairs_compared"]
+        )
+
+    def test_tighter_ncover_threshold_samples_at_least_as_much(self):
+        loose = EulerFD(EulerFDConfig(th_ncover=10.0)).discover(
+            structured_relation()
+        )
+        tight = EulerFD(EulerFDConfig(th_ncover=0.0)).discover(
+            structured_relation()
+        )
+        assert (
+            tight.stats["pairs_compared"] >= loose.stats["pairs_compared"]
+        )
+
+
+class TestAccuracyMonotonicity:
+    def test_accuracy_improves_with_second_cycle(self):
+        relation = structured_relation(rows=600, seed=9)
+        truth = BruteForce().discover(relation).fds
+        single = EulerFD(EulerFDConfig(max_cycles=1)).discover(relation)
+        full = EulerFD().discover(relation)
+        assert f1_score(full.fds, truth) >= f1_score(single.fds, truth) - 1e-9
+
+    def test_queue_count_preserves_correct_results_on_structured_data(self):
+        relation = structured_relation(rows=300, seed=21)
+        truth = BruteForce().discover(relation).fds
+        for queues in (1, 3, 6):
+            result = EulerFD(EulerFDConfig().with_queues(queues)).discover(
+                relation
+            )
+            assert f1_score(result.fds, truth) >= 0.95, queues
+
+
+class TestReviveBehaviour:
+    def test_revivals_recorded_when_cycles_continue(self):
+        relation = structured_relation(rows=500, seed=33)
+        result = EulerFD(EulerFDConfig(th_pcover=0.0)).discover(relation)
+        # Forcing the second cycle to keep going requires reviving retired
+        # clusters at least once on a workload this size.
+        assert result.stats["revivals"] >= 1

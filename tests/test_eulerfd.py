@@ -1,0 +1,171 @@
+"""End-to-end tests for the EulerFD driver and its double cycle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import BruteForce
+from repro.core import EulerFD, EulerFDConfig
+from repro.fd import FD
+from repro.metrics import f1_score
+from repro.relation import Relation
+
+
+class TestBasicDiscovery:
+    def test_patient_dataset_is_exact(self, patient_relation):
+        truth = BruteForce().discover(patient_relation).fds
+        result = EulerFD().discover(patient_relation)
+        assert result.fds == truth
+
+    def test_result_metadata(self, patient_relation):
+        result = EulerFD().discover(patient_relation)
+        assert result.algorithm == "EulerFD"
+        assert result.relation_name == "patients"
+        assert result.num_rows == 9
+        assert result.num_columns == 5
+        assert result.runtime_seconds > 0
+
+    def test_stats_populated(self, patient_relation):
+        stats = EulerFD().discover(patient_relation).stats
+        for key in (
+            "cycles", "sampling_rounds", "inversions", "pairs_compared",
+            "ncover_size", "pcover_size", "clusters",
+        ):
+            assert key in stats
+        assert stats["inversions"] >= 1
+        assert stats["pairs_compared"] > 0
+
+    def test_deterministic(self, patient_relation):
+        first = EulerFD().discover(patient_relation)
+        second = EulerFD().discover(patient_relation)
+        assert first.fds == second.fds
+
+
+class TestDegenerateRelations:
+    def test_single_column(self):
+        relation = Relation.from_rows([(1,), (2,)], ["a"])
+        result = EulerFD().discover(relation)
+        assert result.fds == frozenset()  # {} -> a is violated, nothing else
+
+    def test_constant_column_yields_empty_lhs_fd(self):
+        relation = Relation.from_rows([(1, "x"), (2, "x")], ["a", "b"])
+        result = EulerFD().discover(relation)
+        assert FD(0, 1) in result.fds  # {} -> b
+        assert FD.of([0], 1) not in result.fds  # dominated
+
+    def test_all_unique_relation(self):
+        """No cluster exists, yet the seeded empty-LHS violations ensure
+        singles are reported instead of the bogus {} -> A."""
+        relation = Relation.from_rows(
+            [(1, "a", 7.0), (2, "b", 8.0), (3, "c", 9.0)], ["x", "y", "z"]
+        )
+        result = EulerFD().discover(relation)
+        expected = {
+            FD.of([lhs], rhs)
+            for lhs in range(3)
+            for rhs in range(3)
+            if lhs != rhs
+        }
+        assert result.fds == expected
+
+    def test_empty_relation(self):
+        relation = Relation.from_rows([], ["a", "b"])
+        result = EulerFD().discover(relation)
+        assert result.fds == {FD(0, 0), FD(0, 1)}  # vacuously constant
+
+    def test_single_row(self):
+        relation = Relation.from_rows([(1, 2)], ["a", "b"])
+        result = EulerFD().discover(relation)
+        assert result.fds == {FD(0, 0), FD(0, 1)}
+
+    def test_duplicate_rows_only(self):
+        relation = Relation.from_rows([(1, 2)] * 4, ["a", "b"])
+        result = EulerFD().discover(relation)
+        assert result.fds == {FD(0, 0), FD(0, 1)}
+
+
+class TestConfiguration:
+    def test_zero_thresholds_still_terminate(self, patient_relation):
+        config = EulerFDConfig(th_ncover=0.0, th_pcover=0.0)
+        result = EulerFD(config).discover(patient_relation)
+        assert result.stats["cycles"] <= config.max_cycles
+        assert len(result.fds) > 0
+
+    def test_max_cycles_bounds_work(self, patient_relation):
+        config = EulerFDConfig(max_cycles=1)
+        result = EulerFD(config).discover(patient_relation)
+        assert result.stats["cycles"] == 1
+
+    def test_single_queue_configuration(self, patient_relation):
+        config = EulerFDConfig().with_queues(1)
+        result = EulerFD(config).discover(patient_relation)
+        truth = BruteForce().discover(patient_relation).fds
+        assert f1_score(result.fds, truth) == 1.0
+
+    def test_high_threshold_trades_accuracy_for_speed(self):
+        """A huge Th_Ncover stops sampling almost immediately; the result
+        may overclaim FDs but the pipeline still completes."""
+        import random
+
+        rng = random.Random(5)
+        rows = [
+            tuple(rng.randint(0, 4) for _ in range(6)) for _ in range(200)
+        ]
+        relation = Relation.from_rows(rows)
+        eager = EulerFD(EulerFDConfig(th_ncover=100.0, th_pcover=100.0))
+        careful = EulerFD(EulerFDConfig(th_ncover=0.001, th_pcover=0.001))
+        eager_result = eager.discover(relation)
+        careful_result = careful.discover(relation)
+        assert eager_result.stats["pairs_compared"] <= (
+            careful_result.stats["pairs_compared"]
+        )
+        truth = BruteForce().discover(relation).fds
+        assert f1_score(careful_result.fds, truth) >= f1_score(
+            eager_result.fds, truth
+        )
+
+    def test_null_semantics_flow_through(self):
+        relation = Relation.from_rows(
+            [(None, "x"), (None, "y")], ["a", "b"]
+        )
+        equal_nulls = EulerFD(EulerFDConfig(null_equals_null=True)).discover(
+            relation
+        )
+        distinct_nulls = EulerFD(
+            EulerFDConfig(null_equals_null=False)
+        ).discover(relation)
+        # With NULL == NULL the pair violates a -> b; without, no pair
+        # agrees on anything and both singles survive.
+        assert FD.of([0], 1) not in equal_nulls.fds
+        assert FD.of([0], 1) in distinct_nulls.fds
+
+
+class TestAccuracyOnStructuredData:
+    def test_planted_fd_recovered(self):
+        import random
+
+        rng = random.Random(11)
+        rows = []
+        for _ in range(300):
+            a = rng.randint(0, 9)
+            b = rng.randint(0, 9)
+            rows.append((a, b, (a * 13 + b * 7) % 10, rng.randint(0, 1)))
+        relation = Relation.from_rows(rows, ["a", "b", "ab_fn", "noise"])
+        result = EulerFD().discover(relation)
+        truth = BruteForce().discover(relation).fds
+        assert f1_score(result.fds, truth) >= 0.95
+
+    def test_f1_against_oracle_on_random_data(self):
+        import random
+
+        rng = random.Random(23)
+        rows = [
+            (rng.randint(0, 29), rng.randint(0, 29), rng.randint(0, 5),
+             rng.randint(0, 59), rng.randint(0, 1))
+            for _ in range(150)
+        ]
+        relation = Relation.from_rows(rows)
+        result = EulerFD().discover(relation)
+        truth = BruteForce().discover(relation).fds
+        assert truth, "the workload must have true FDs for F1 to mean anything"
+        assert f1_score(result.fds, truth) >= 0.9

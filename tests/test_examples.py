@@ -1,0 +1,71 @@
+"""The example scripts are part of the public surface: they must run.
+
+Each example is executed in-process (runpy) with a controlled argv; the
+assertions check the narrative output, not timing.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(script: str, argv: list[str], capsys) -> str:
+    old_argv = sys.argv
+    sys.argv = [script, *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", [], capsys)
+        assert "Discovered non-trivial minimal FDs" in out
+        assert "[Name] -> Age" in out
+        assert "pairs_compared" in out
+
+    def test_data_obfuscation(self, capsys):
+        out = run_example("data_obfuscation.py", [], capsys)
+        assert "Labeled sensitive attributes" in out
+        assert "Underlying sensitive attributes" in out
+        # Name determines Age and Gender, so it must be protected.
+        assert "Name" in out
+        assert "tok#" in out
+
+    def test_schema_normalization(self, capsys):
+        out = run_example("schema_normalization.py", [], capsys)
+        assert "Candidate keys" in out
+        assert "BCNF decomposition" in out
+        assert "All attributes covered" in out
+
+    def test_compare_algorithms(self, capsys):
+        out = run_example("compare_algorithms.py", ["iris", "100"], capsys)
+        assert "Ground truth" in out
+        assert "EulerFD" in out
+        assert "Tane" in out
+
+    def test_approximation_analysis(self, capsys):
+        out = run_example("approximation_analysis.py", [], capsys)
+        assert "Exact cover" in out
+        assert "EulerFD cover" in out
+        assert "Agreement" in out
+
+    def test_incremental_profiling(self, capsys):
+        out = run_example("incremental_profiling.py", [], capsys)
+        assert "day 0" in out
+        assert "city->country holds: True" in out
+        assert "city->country holds: False" in out
+
+    def test_data_quality(self, capsys):
+        out = run_example("data_quality.py", [], capsys)
+        assert "city -> country holds exactly: False" in out
+        assert "city -> country holds approximately: True" in out
+        assert "conflicting pair" in out

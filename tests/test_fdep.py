@@ -1,0 +1,78 @@
+"""Tests for the Fdep all-pairs induction baseline."""
+
+from __future__ import annotations
+
+from repro.algorithms import BruteForce, Fdep
+from repro.algorithms.fdep import compute_agree_masks
+from repro.fd import FD, attrset
+from repro.relation import Relation, preprocess
+
+
+class TestAgreeMasks:
+    def test_patient_masks_include_paper_pairs(self, patient_relation):
+        data = preprocess(patient_relation)
+        masks = compute_agree_masks(data)
+        # t2/t8 agree exactly on Gender; t2/t7 agree on Age and Blood.
+        assert 0b01000 in masks
+        assert data.agree_mask(1, 6) in masks
+
+    def test_full_agreement_excluded(self):
+        relation = Relation.from_rows([(1, 2), (1, 2)], ["a", "b"])
+        assert compute_agree_masks(preprocess(relation)) == set()
+
+    def test_empty_agreement_included(self):
+        relation = Relation.from_rows([(1, 2), (3, 4)], ["a", "b"])
+        assert compute_agree_masks(preprocess(relation)) == {0}
+
+    def test_masks_are_exact(self):
+        import random
+
+        rng = random.Random(3)
+        rows = [tuple(rng.randint(0, 2) for _ in range(4)) for _ in range(20)]
+        relation = Relation.from_rows(rows)
+        data = preprocess(relation)
+        expected = set()
+        universe = attrset.universe(4)
+        for i in range(20):
+            for j in range(i + 1, 20):
+                mask = data.agree_mask(i, j)
+                if mask != universe:
+                    expected.add(mask)
+        assert compute_agree_masks(data) == expected
+
+    def test_wide_relation_masks(self):
+        """Columns beyond 64 exercise multi-word packing."""
+        width = 70
+        row_a = tuple(range(width))
+        row_b = tuple(v if i % 2 == 0 else -1 for i, v in enumerate(row_a))
+        relation = Relation.from_rows([row_a, row_b])
+        masks = compute_agree_masks(preprocess(relation))
+        expected = sum(1 << i for i in range(width) if i % 2 == 0)
+        assert masks == {expected}
+
+
+class TestDiscovery:
+    def test_patients(self, patient_relation):
+        truth = BruteForce().discover(patient_relation).fds
+        assert Fdep().discover(patient_relation).fds == truth
+
+    def test_stats(self, patient_relation):
+        stats = Fdep().discover(patient_relation).stats
+        assert stats["pairs_compared"] == 36  # C(9, 2)
+        assert stats["distinct_agree_sets"] > 0
+        assert stats["ncover_size"] > 0
+
+    def test_empty_relation(self):
+        relation = Relation.from_rows([], ["a"])
+        assert Fdep().discover(relation).fds == {FD(0, 0)}
+
+    def test_all_duplicates(self):
+        relation = Relation.from_rows([("x", 1)] * 3, ["a", "b"])
+        assert Fdep().discover(relation).fds == {FD(0, 0), FD(0, 1)}
+
+    def test_null_semantics(self):
+        relation = Relation.from_rows([(None, 1), (None, 2)], ["a", "b"])
+        equal = Fdep(null_equals_null=True).discover(relation)
+        distinct = Fdep(null_equals_null=False).discover(relation)
+        assert FD.of([0], 1) not in equal.fds
+        assert FD.of([0], 1) in distinct.fds

@@ -1,0 +1,72 @@
+"""Tests for the HyFD hybrid baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import BruteForce, HyFD
+from repro.fd import FD
+from repro.relation import Relation
+
+
+class TestExactness:
+    def test_patients(self, patient_relation):
+        truth = BruteForce().discover(patient_relation).fds
+        assert HyFD().discover(patient_relation).fds == truth
+
+    def test_rare_violation_caught_by_validation(self):
+        """Construct a relation whose only violation of c0 -> c1 sits in
+        rows sampling would reach last: the validation phase must find it
+        regardless, because HyFD is exact."""
+        rows = [(i, i % 7, i % 3) for i in range(60)]
+        rows.append((0, 6, 0))  # violates c0 -> c1 via the pair (row 0)
+        relation = Relation.from_rows(rows, ["c0", "c1", "c2"])
+        result = HyFD().discover(relation)
+        assert FD.of([0], 1) not in result.fds
+        truth = BruteForce().discover(relation).fds
+        assert result.fds == truth
+
+    def test_empty_and_tiny_relations(self):
+        assert HyFD().discover(Relation.from_rows([], ["a"])).fds == {FD(0, 0)}
+        assert HyFD().discover(
+            Relation.from_rows([(1, 2)], ["a", "b"])
+        ).fds == {FD(0, 0), FD(0, 1)}
+
+    def test_efficiency_threshold_zero_is_still_exact(self, patient_relation):
+        """threshold 0 -> sampling runs to exhaustion before validating."""
+        truth = BruteForce().discover(patient_relation).fds
+        result = HyFD(efficiency_threshold=0.0).discover(patient_relation)
+        assert result.fds == truth
+
+    def test_large_efficiency_threshold_is_still_exact(self, patient_relation):
+        """A huge threshold pushes all the work onto validation."""
+        truth = BruteForce().discover(patient_relation).fds
+        result = HyFD(efficiency_threshold=10.0).discover(patient_relation)
+        assert result.fds == truth
+
+
+class TestBehaviour:
+    def test_phases_recorded(self, patient_relation):
+        stats = HyFD().discover(patient_relation).stats
+        assert stats["sampling_phases"] >= 1
+        assert stats["validation_phases"] >= 1
+        assert stats["validations"] > 0
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            HyFD(efficiency_threshold=-1.0)
+
+    def test_randomized_cross_check(self):
+        import random
+
+        rng = random.Random(17)
+        for _ in range(8):
+            rows = [
+                tuple(rng.randint(0, 3) for _ in range(4))
+                for _ in range(rng.randint(2, 40))
+            ]
+            relation = Relation.from_rows(rows)
+            assert (
+                HyFD().discover(relation).fds
+                == BruteForce().discover(relation).fds
+            )

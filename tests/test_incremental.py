@@ -1,0 +1,142 @@
+"""Tests for incremental FD maintenance under insertions."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import BruteForce
+from repro.core import IncrementalEulerFD
+from repro.datasets import patients
+from repro.fd import FD, inference
+from repro.relation import Relation
+
+
+def rows_of(*rows):
+    return [tuple(row) for row in rows]
+
+
+class TestExhaustiveBaseIsExact:
+    def test_append_invalidates_fd(self):
+        base = Relation.from_rows(
+            rows_of((1, "a"), (2, "b")), ["x", "y"]
+        )
+        session = IncrementalEulerFD(base, exhaustive_base=True)
+        assert FD.of([0], 1) in session.current_result().fds
+        result = session.append(rows_of((1, "z")))
+        assert FD.of([0], 1) not in result.fds
+
+    def test_matches_scratch_discovery_after_each_append(self):
+        rng = random.Random(6)
+        all_rows = [
+            tuple(rng.randint(0, 3) for _ in range(4)) for _ in range(40)
+        ]
+        base = Relation.from_rows(all_rows[:10], ["a", "b", "c", "d"])
+        session = IncrementalEulerFD(base, exhaustive_base=True)
+        cursor = 10
+        for batch_size in (1, 5, 12, 12):
+            batch = all_rows[cursor : cursor + batch_size]
+            cursor += batch_size
+            result = session.append(batch)
+            scratch = BruteForce().discover(
+                Relation.from_rows(all_rows[:cursor], ["a", "b", "c", "d"])
+            )
+            assert result.fds == scratch.fds, cursor
+
+    def test_patients_appended_row_by_row(self, patient_relation):
+        rows = list(patient_relation.iter_rows())
+        base = Relation.from_rows(rows[:3], patient_relation.column_names)
+        session = IncrementalEulerFD(base, exhaustive_base=True)
+        for row in rows[3:]:
+            result = session.append([row])
+        truth = BruteForce().discover(patient_relation).fds
+        assert result.fds == truth
+
+    def test_empty_base(self):
+        base = Relation.from_rows([], ["a", "b"])
+        session = IncrementalEulerFD(base, exhaustive_base=True)
+        result = session.append(rows_of((1, "x"), (2, "x"), (1, "x")))
+        scratch = BruteForce().discover(
+            Relation.from_rows(rows_of((1, "x"), (2, "x"), (1, "x")), ["a", "b"])
+        )
+        assert result.fds == scratch.fds
+
+    def test_duplicate_rows_append(self):
+        base = Relation.from_rows(rows_of((1, 2)), ["a", "b"])
+        session = IncrementalEulerFD(base, exhaustive_base=True)
+        result = session.append(rows_of((1, 2), (1, 2)))
+        assert result.fds == {FD(0, 0), FD(0, 1)}
+
+
+class TestApproximateBase:
+    def test_safety_invariant(self):
+        """True FDs of the grown relation are always implied."""
+        rng = random.Random(9)
+        all_rows = [
+            (rng.randint(0, 9), rng.randint(0, 9), rng.randint(0, 2))
+            for _ in range(120)
+        ]
+        base = Relation.from_rows(all_rows[:80], ["a", "b", "c"])
+        session = IncrementalEulerFD(base)
+        result = session.append(all_rows[80:])
+        truth = BruteForce().discover(
+            Relation.from_rows(all_rows, ["a", "b", "c"])
+        ).fds
+        for fd in truth:
+            assert inference.implies(result.fds, fd)
+
+    def test_stats_track_appends(self):
+        base = Relation.from_rows(rows_of((1, "a"), (2, "b")), ["x", "y"])
+        session = IncrementalEulerFD(base)
+        session.append(rows_of((3, "c")))
+        result = session.append(rows_of((4, "d")))
+        assert result.stats["appends"] == 2
+        assert result.num_rows == 4
+        assert result.stats["pairs_compared"] >= 0
+
+
+class TestValidation:
+    def test_arity_mismatch_rejected(self):
+        session = IncrementalEulerFD(
+            Relation.from_rows(rows_of((1, 2)), ["a", "b"]),
+            exhaustive_base=True,
+        )
+        with pytest.raises(ValueError, match="arity"):
+            session.append([(1, 2, 3)])
+
+    def test_append_empty_batch_is_noop(self):
+        session = IncrementalEulerFD(
+            Relation.from_rows(rows_of((1, 2), (2, 2)), ["a", "b"]),
+            exhaustive_base=True,
+        )
+        before = session.current_result().fds
+        after = session.append([]).fds
+        assert before == after
+
+
+class TestPropertyExactMaintenance:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2),
+                st.integers(min_value=0, max_value=2),
+                st.integers(min_value=0, max_value=2),
+            ),
+            min_size=1,
+            max_size=24,
+        ),
+        st.integers(min_value=0, max_value=23),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_split_point_never_matters(self, rows, cut):
+        cut = min(cut, len(rows))
+        base = Relation.from_rows(rows[:cut], ["a", "b", "c"])
+        session = IncrementalEulerFD(base, exhaustive_base=True)
+        result = session.append(rows[cut:])
+        scratch = BruteForce().discover(
+            Relation.from_rows(rows, ["a", "b", "c"])
+        )
+        assert result.fds == scratch.fds

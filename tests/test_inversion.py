@@ -1,0 +1,141 @@
+"""Tests for the inversion module (Algorithm 3)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.inversion import Inverter
+from repro.fd import FD, NegativeCover, attrset
+
+# Patient attribute initials: N=0, A=1, B=2, G=3, M=4.
+N, A, B, G, M = range(5)
+
+
+def minimal_escaping_sets(non_fd_lhss: list[int], num_attributes: int, rhs: int):
+    """Oracle: minimal LHSs (without rhs) not contained in any invalid LHS."""
+    allowed = attrset.universe(num_attributes) & ~attrset.singleton(rhs)
+    escaping = [
+        mask
+        for mask in attrset.all_subsets(allowed)
+        if not any(mask & ~bad == 0 for bad in non_fd_lhss)
+    ]
+    minimal = set()
+    for mask in sorted(escaping, key=attrset.size):
+        if not any(attrset.is_subset(kept, mask) for kept in minimal):
+            minimal.add(mask)
+    return minimal
+
+
+class TestPaperFigure5:
+    """Inversion for RHS Name with non-FDs MBG, AG, AMB (Fig. 5)."""
+
+    def run_inversion(self):
+        inverter = Inverter(5)
+        non_fds = [FD.of([M, B, G], N), FD.of([A, G], N), FD.of([A, M, B], N)]
+        stats = inverter.process(non_fds)
+        return inverter, stats
+
+    def test_final_cover_matches_figure(self):
+        inverter, _ = self.run_inversion()
+        got = set(inverter.pcover.lhs_masks(N))
+        expected = {
+            attrset.from_indices([A, B, G]),
+            attrset.from_indices([A, M, G]),
+        }
+        assert got == expected
+
+    def test_most_general_candidate_removed(self):
+        inverter, _ = self.run_inversion()
+        assert FD(0, N) not in inverter.pcover
+
+    def test_other_rhs_untouched(self):
+        inverter, _ = self.run_inversion()
+        assert FD(0, A) in inverter.pcover  # still the seeded {} -> A
+
+    def test_stats_counted(self):
+        _, stats = self.run_inversion()
+        assert stats.non_fds_processed == 3
+        assert stats.candidates_removed >= 3
+        assert stats.candidates_added >= 2
+
+
+class TestIncrementalEquivalence:
+    """Processing non-FDs in one batch or in arbitrary splits/orders must
+    produce the same positive cover (the property the double cycle relies
+    on)."""
+
+    def test_split_processing_matches_batch(self):
+        non_fds = [FD.of([M, B, G], N), FD.of([A, G], N), FD.of([A, M, B], N)]
+        batch = Inverter(5)
+        batch.process(non_fds)
+        split = Inverter(5)
+        split.process(non_fds[:1])
+        split.process(non_fds[1:])
+        assert set(batch.pcover) == set(split.pcover)
+
+    def test_order_independence(self):
+        non_fds = [FD.of([M, B, G], N), FD.of([A, G], N), FD.of([A, M, B], N)]
+        forward = Inverter(5)
+        forward.process(non_fds)
+        backward = Inverter(5)
+        backward.process(list(reversed(non_fds)))
+        assert set(forward.pcover) == set(backward.pcover)
+
+    def test_reprocessing_is_idempotent(self):
+        non_fds = [FD.of([A, G], N), FD.of([M, B, G], N)]
+        inverter = Inverter(5)
+        inverter.process(non_fds)
+        snapshot = set(inverter.pcover)
+        stats = inverter.process(non_fds)
+        assert set(inverter.pcover) == snapshot
+        assert stats.candidates_removed == 0
+
+
+class TestAgainstOracle:
+    masks6 = st.integers(min_value=0, max_value=(1 << 6) - 1)
+
+    @given(st.lists(masks6, max_size=14), st.integers(min_value=0, max_value=5))
+    @settings(max_examples=200, deadline=None)
+    def test_inversion_computes_minimal_escaping_family(self, lhss, rhs):
+        rhs_bit = attrset.singleton(rhs)
+        non_fds = [FD(lhs & ~rhs_bit, rhs) for lhs in lhss]
+        inverter = Inverter(6)
+        inverter.process(non_fds)
+        expected = minimal_escaping_sets(
+            [fd.lhs for fd in non_fds], 6, rhs
+        )
+        assert set(inverter.pcover.lhs_masks(rhs)) == expected
+
+    @given(
+        st.lists(st.tuples(masks6, st.integers(min_value=0, max_value=5)),
+                 max_size=20),
+        st.data(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_incremental_matches_batch_random_split(self, raw, data):
+        non_fds = [FD(lhs & ~attrset.singleton(rhs), rhs) for lhs, rhs in raw]
+        cut = data.draw(st.integers(min_value=0, max_value=len(non_fds)))
+        batch = Inverter(6)
+        batch.process(non_fds)
+        split = Inverter(6)
+        split.process(non_fds[:cut])
+        split.process(non_fds[cut:])
+        assert set(batch.pcover) == set(split.pcover)
+
+
+class TestNegativeCoverIntegration:
+    def test_inverting_cover_contents_prunes_redundant_non_fds(self):
+        """Feeding a cover's minimized contents equals feeding everything."""
+        raw = [
+            FD.of([A, M, B], N), FD.of([B, G], N), FD.of([M, B, G], N),
+            FD.of([A, G], N), FD.of([A], B), FD.of([A, G], B),
+        ]
+        cover = NegativeCover(5)
+        admitted = [fd for fd in raw if cover.add(fd)]
+        from_cover = Inverter(5)
+        from_cover.process(cover)
+        from_raw = Inverter(5)
+        from_raw.process(raw)
+        assert set(from_cover.pcover) == set(from_raw.pcover)
+        assert len(admitted) <= len(raw)

@@ -1,0 +1,100 @@
+"""Tests for the cardinality-bucketed LHS index (reference implementation)."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fd.lhs_index import BitsetLhsIndex, LhsIndex
+
+masks = st.integers(min_value=0, max_value=(1 << 12) - 1)
+
+
+class TestMutation:
+    def test_add_new(self):
+        index = BitsetLhsIndex()
+        assert index.add(0b101)
+        assert 0b101 in index
+        assert len(index) == 1
+
+    def test_add_duplicate(self):
+        index = BitsetLhsIndex([0b101])
+        assert not index.add(0b101)
+        assert len(index) == 1
+
+    def test_remove_present(self):
+        index = BitsetLhsIndex([0b101, 0b011])
+        assert index.remove(0b101)
+        assert 0b101 not in index
+        assert len(index) == 1
+
+    def test_remove_absent(self):
+        index = BitsetLhsIndex([0b101])
+        assert not index.remove(0b111)
+        assert len(index) == 1
+
+    def test_empty_mask_storable(self):
+        index = BitsetLhsIndex()
+        assert index.add(0)
+        assert 0 in index
+        assert index.contains_subset(0b1111)
+
+    def test_iteration_sorted_by_cardinality_then_value(self):
+        index = BitsetLhsIndex([0b111, 0b1, 0b11])
+        assert list(index) == [0b1, 0b11, 0b111]
+
+    def test_satisfies_protocol(self):
+        assert isinstance(BitsetLhsIndex(), LhsIndex)
+
+
+class TestQueries:
+    def test_contains_superset(self):
+        index = BitsetLhsIndex([0b1100, 0b0011])
+        assert index.contains_superset(0b0100)
+        assert index.contains_superset(0b1100)  # non-strict
+        assert not index.contains_superset(0b1001)
+
+    def test_contains_subset(self):
+        index = BitsetLhsIndex([0b1100, 0b0011])
+        assert index.contains_subset(0b1110)
+        assert index.contains_subset(0b0011)  # non-strict
+        assert not index.contains_subset(0b1001)
+
+    def test_find_supersets(self):
+        index = BitsetLhsIndex([0b111, 0b101, 0b010])
+        assert index.find_supersets(0b001) == [0b101, 0b111]
+
+    def test_find_subsets(self):
+        index = BitsetLhsIndex([0b111, 0b101, 0b010, 0b001])
+        assert index.find_subsets(0b101) == [0b001, 0b101]
+
+    def test_queries_on_empty_index(self):
+        index = BitsetLhsIndex()
+        assert not index.contains_superset(0)
+        assert not index.contains_subset(0)
+        assert index.find_supersets(0b1) == []
+        assert index.find_subsets(0b1) == []
+
+
+class TestProperties:
+    @given(st.lists(masks, max_size=30), masks)
+    def test_queries_match_naive(self, stored, query):
+        index = BitsetLhsIndex(iter(stored))
+        unique = set(stored)
+        assert len(index) == len(unique)
+        naive_supersets = sorted(m for m in unique if query & ~m == 0)
+        naive_subsets = sorted(m for m in unique if m & ~query == 0)
+        assert index.find_supersets(query) == naive_supersets
+        assert index.find_subsets(query) == naive_subsets
+        assert index.contains_superset(query) == bool(naive_supersets)
+        assert index.contains_subset(query) == bool(naive_subsets)
+
+    @given(st.lists(masks, max_size=30))
+    def test_add_remove_roundtrip(self, stored):
+        index = BitsetLhsIndex()
+        for mask in stored:
+            index.add(mask)
+        for mask in set(stored):
+            assert index.remove(mask)
+        assert len(index) == 0
+        assert list(index) == []

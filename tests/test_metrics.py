@@ -1,0 +1,99 @@
+"""Tests for accuracy and timing metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fd import FD
+from repro.metrics import (
+    AccuracyReport,
+    f1_score,
+    fd_set_metrics,
+    semantic_equivalence,
+    timed,
+)
+
+
+def fds(*pairs):
+    return [FD.of(lhs, rhs) for lhs, rhs in pairs]
+
+
+class TestAccuracyReport:
+    def test_perfect(self):
+        truth = fds(([0], 1), ([1], 2))
+        report = fd_set_metrics(truth, truth)
+        assert report.precision == 1.0
+        assert report.recall == 1.0
+        assert report.f1 == 1.0
+
+    def test_partial(self):
+        truth = fds(([0], 1), ([1], 2))
+        found = fds(([0], 1), ([2], 0))
+        report = fd_set_metrics(found, truth)
+        assert report.precision == 0.5
+        assert report.recall == 0.5
+        assert report.f1 == 0.5
+
+    def test_asymmetric(self):
+        truth = fds(([0], 1), ([1], 2), ([2], 0), ([0], 2))
+        found = fds(([0], 1))
+        report = fd_set_metrics(found, truth)
+        assert report.precision == 1.0
+        assert report.recall == 0.25
+        assert report.f1 == pytest.approx(0.4)
+
+    def test_no_overlap(self):
+        report = fd_set_metrics(fds(([0], 1)), fds(([1], 0)))
+        assert report.f1 == 0.0
+
+    def test_both_empty_is_perfect(self):
+        report = fd_set_metrics([], [])
+        assert report.precision == 1.0
+        assert report.recall == 1.0
+        assert report.f1 == 1.0
+
+    def test_empty_found_nonempty_truth(self):
+        report = fd_set_metrics([], fds(([0], 1)))
+        assert report.precision == 1.0  # vacuous
+        assert report.recall == 0.0
+        assert report.f1 == 0.0
+
+    def test_f1_score_shorthand(self):
+        assert f1_score(fds(([0], 1)), fds(([0], 1))) == 1.0
+
+    def test_duplicates_in_input_collapse(self):
+        found = fds(([0], 1), ([0], 1))
+        assert fd_set_metrics(found, fds(([0], 1))).f1 == 1.0
+
+    def test_str_rendering(self):
+        text = str(AccuracyReport(1, 1, 0))
+        assert "precision=0.500" in text
+        assert "f1=" in text
+
+
+class TestSemanticEquivalence:
+    def test_redundant_cover_is_equivalent(self):
+        minimal = fds(([0], 1), ([1], 2))
+        redundant = fds(([0], 1), ([1], 2), ([0], 2))
+        assert semantic_equivalence(minimal, redundant)
+
+    def test_different_information_not_equivalent(self):
+        assert not semantic_equivalence(fds(([0], 1)), fds(([0], 2)))
+
+
+class TestTimed:
+    def test_returns_value_and_duration(self):
+        run = timed(lambda: 42)
+        assert run.value == 42
+        assert run.seconds >= 0.0
+        assert run.repeats == 1
+
+    def test_median_of_repeats(self):
+        run = timed(lambda: "x", repeats=3)
+        assert len(run.all_seconds) == 3
+        assert run.best <= run.seconds <= max(run.all_seconds)
+        assert run.mean >= 0.0
+
+    def test_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            timed(lambda: None, repeats=0)

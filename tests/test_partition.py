@@ -1,0 +1,143 @@
+"""Tests for partitions and stripped partitions (Definitions 6-7)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relation.partition import (
+    StrippedPartition,
+    full_partition_from_labels,
+    partition_from_labels,
+)
+
+label_lists = st.lists(st.integers(min_value=0, max_value=5), max_size=30)
+
+
+class TestConstruction:
+    def test_from_labels(self):
+        partition = partition_from_labels([0, 1, 0, 2, 1], 5)
+        clusters = sorted(tuple(c) for c in partition.clusters)
+        assert clusters == [(0, 2), (1, 4)]
+
+    def test_rejects_singleton_clusters(self):
+        with pytest.raises(ValueError):
+            StrippedPartition([(0,)], 3)
+
+    def test_full_partition_keeps_singletons(self):
+        full = full_partition_from_labels([0, 1, 0])
+        assert sorted(map(tuple, full)) == [(0, 2), (1,)]
+
+
+class TestPaperExample5And6:
+    """Partitions of attributes Age and Gender of Table I (0-indexed rows)."""
+
+    AGE = [60, 32, 28, 49, 32, 49, 32, 41, 25]
+    GENDER = ["F", "M", "F", "F", "F", "F", "F", "M", "Q"]
+
+    def labels(self, values):
+        seen = {}
+        return [seen.setdefault(v, len(seen)) for v in values]
+
+    def test_stripped_age(self):
+        partition = partition_from_labels(self.labels(self.AGE), 9)
+        clusters = sorted(tuple(c) for c in partition.clusters)
+        # {t2, t5, t7} and {t4, t6} in the paper's 1-based numbering.
+        assert clusters == [(1, 4, 6), (3, 5)]
+
+    def test_stripped_gender(self):
+        partition = partition_from_labels(self.labels(self.GENDER), 9)
+        clusters = sorted(tuple(c) for c in partition.clusters)
+        assert clusters == [(0, 2, 3, 4, 5, 6), (1, 7)]
+
+    def test_full_partition_age_has_six_classes(self):
+        assert len(full_partition_from_labels(self.labels(self.AGE))) == 6
+
+
+class TestStatistics:
+    def test_counts(self):
+        partition = partition_from_labels([0, 0, 1, 2, 2, 2], 6)
+        assert partition.num_clusters == 2
+        assert partition.num_grouped_rows == 5
+        # full classes: 1 singleton + 2 stripped = 3
+        assert partition.num_classes_full == 3
+        assert partition.error == 3  # (5 grouped - 2 clusters)
+
+    def test_superkey_detection(self):
+        assert partition_from_labels([0, 1, 2], 3).is_superkey()
+        assert not partition_from_labels([0, 1, 0], 3).is_superkey()
+
+    def test_empty_relation(self):
+        partition = partition_from_labels([], 0)
+        assert partition.num_classes_full == 0
+        assert partition.is_superkey()
+
+
+class TestProduct:
+    def test_product_refines(self):
+        left = partition_from_labels([0, 0, 0, 1, 1], 5)
+        right = partition_from_labels([0, 0, 1, 1, 1], 5)
+        product = left.product(right)
+        clusters = sorted(tuple(c) for c in product.clusters)
+        assert clusters == [(0, 1), (3, 4)]
+
+    def test_product_with_superkey_is_empty(self):
+        left = partition_from_labels([0, 0, 1], 3)
+        right = partition_from_labels([0, 1, 2], 3)
+        assert left.product(right).is_superkey()
+
+    def test_product_commutes(self):
+        left = partition_from_labels([0, 0, 1, 1, 0], 5)
+        right = partition_from_labels([0, 1, 1, 0, 0], 5)
+        assert left.product(right) == right.product(left)
+
+    def test_product_requires_same_relation_size(self):
+        with pytest.raises(ValueError):
+            partition_from_labels([0, 0], 2).product(
+                partition_from_labels([0, 0, 0], 3)
+            )
+
+    @given(label_lists, label_lists)
+    @settings(max_examples=150)
+    def test_product_matches_combined_labels(self, left_labels, right_labels):
+        size = min(len(left_labels), len(right_labels))
+        left_labels, right_labels = left_labels[:size], right_labels[:size]
+        left = partition_from_labels(left_labels, size)
+        right = partition_from_labels(right_labels, size)
+        combined = [
+            hash((a, b)) for a, b in zip(left_labels, right_labels)
+        ]
+        expected = partition_from_labels(
+            [combined.index(value) for value in combined], size
+        )
+        assert left.product(right) == expected
+
+
+class TestRefines:
+    def test_fd_oracle(self):
+        # labels of X and A: X -> A holds iff π_X refines π_A.
+        x = partition_from_labels([0, 0, 1, 1], 4)
+        a_held = partition_from_labels([5, 5, 6, 6], 4)
+        a_broken = partition_from_labels([5, 6, 6, 6], 4)
+        assert x.refines(a_held)
+        assert not x.refines(a_broken)
+
+    def test_everything_refines_constant(self):
+        x = partition_from_labels([0, 1, 1, 2, 2], 5)
+        constant = partition_from_labels([9, 9, 9, 9, 9], 5)
+        assert x.refines(constant)
+
+
+class TestEquality:
+    def test_cluster_order_irrelevant(self):
+        left = StrippedPartition([(0, 1), (2, 3)], 4)
+        right = StrippedPartition([(3, 2), (1, 0)], 4)
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_different_sizes_unequal(self):
+        assert StrippedPartition([(0, 1)], 2) != StrippedPartition([(0, 1)], 3)
+
+    def test_not_equal_to_other_types(self):
+        assert StrippedPartition([(0, 1)], 2) != "partition"

@@ -1,0 +1,149 @@
+"""Tests for the preprocessing module (Section IV-B, Table II)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import patients
+from repro.relation import Relation, preprocess
+
+
+class TestLabelMatrix:
+    def test_table2_reproduction(self, patient_relation):
+        """Preprocessing Table I must yield exactly Table II."""
+        data = preprocess(patient_relation)
+        expected = np.array(
+            [
+                [1, 1, 1, 1, 1],
+                [2, 2, 2, 2, 2],
+                [3, 3, 3, 1, 3],
+                [4, 4, 2, 1, 4],
+                [5, 2, 3, 1, 3],
+                [6, 4, 3, 1, 3],
+                [7, 2, 2, 1, 2],
+                [8, 5, 3, 2, 4],
+                [9, 6, 2, 3, 2],
+            ]
+        ) - 1  # the paper labels from 1, we label from 0
+        assert (data.matrix == expected).all()
+
+    def test_labels_independent_per_column(self):
+        relation = Relation.from_rows([("a", "a"), ("b", "a")], ["x", "y"])
+        data = preprocess(relation)
+        assert list(data.matrix[:, 0]) == [0, 1]
+        assert list(data.matrix[:, 1]) == [0, 0]
+
+    def test_matrix_is_readonly(self, patient_relation):
+        data = preprocess(patient_relation)
+        with pytest.raises(ValueError):
+            data.matrix[0, 0] = 99
+
+    def test_rejects_zero_columns(self):
+        with pytest.raises(ValueError):
+            preprocess(Relation.from_rows([], column_names=[]))
+
+    def test_cardinality(self, patient_relation):
+        data = preprocess(patient_relation)
+        assert data.cardinality(0) == 9  # Name: all distinct
+        assert data.cardinality(3) == 3  # Gender: F, M, Q
+
+    def test_cardinality_of_empty_relation(self):
+        data = preprocess(Relation.from_rows([], ["a"]))
+        assert data.cardinality(0) == 0
+
+
+class TestNullSemantics:
+    def test_null_equals_null(self):
+        relation = Relation.from_rows([(None,), (None,), ("x",)], ["a"])
+        data = preprocess(relation, null_equals_null=True)
+        assert data.matrix[0, 0] == data.matrix[1, 0]
+        assert data.matrix[2, 0] != data.matrix[0, 0]
+
+    def test_null_not_equals_null(self):
+        relation = Relation.from_rows([(None,), (None,), ("x",)], ["a"])
+        data = preprocess(relation, null_equals_null=False)
+        assert data.matrix[0, 0] != data.matrix[1, 0]
+
+    def test_none_distinct_from_string_none(self):
+        relation = Relation.from_rows([(None,), ("None",)], ["a"])
+        data = preprocess(relation)
+        assert data.matrix[0, 0] != data.matrix[1, 0]
+
+
+class TestAgreeMask:
+    def test_agree_mask_of_paper_pair(self, patient_relation):
+        data = preprocess(patient_relation)
+        # t2 and t8 (0-based rows 1, 7) share only Gender = Male (bit 3).
+        assert data.agree_mask(1, 7) == 0b01000
+
+    def test_agree_mask_identity(self, patient_relation):
+        data = preprocess(patient_relation)
+        assert data.agree_mask(2, 2) == 0b11111
+
+    def test_agree_mask_disjoint(self):
+        relation = Relation.from_rows([(1, 2), (3, 4)], ["a", "b"])
+        data = preprocess(relation)
+        assert data.agree_mask(0, 1) == 0
+
+    def test_agree_mask_wide_relation(self):
+        # More than 64 columns exercises the multi-byte packing path.
+        width = 130
+        row_a = list(range(width))
+        row_b = [v if i % 3 == 0 else -v - 1 for i, v in enumerate(row_a)]
+        relation = Relation.from_rows([row_a, row_b])
+        data = preprocess(relation)
+        expected = sum(1 << i for i in range(width) if i % 3 == 0)
+        assert data.agree_mask(0, 1) == expected
+
+
+class TestAgreeMasksBulk:
+    def test_matches_single_pair_api(self, patient_relation):
+        data = preprocess(patient_relation)
+        rows_a = [0, 1, 2, 3]
+        rows_b = [4, 5, 6, 7]
+        bulk = data.agree_masks_bulk(rows_a, rows_b)
+        singles = [data.agree_mask(a, b) for a, b in zip(rows_a, rows_b)]
+        assert bulk == singles
+
+    def test_empty_batch(self, patient_relation):
+        data = preprocess(patient_relation)
+        assert data.agree_masks_bulk([], []) == []
+
+    def test_wide_bulk(self):
+        width = 100
+        rows = [tuple(range(width)), tuple(-v for v in range(width))]
+        data = preprocess(Relation.from_rows(rows))
+        masks = data.agree_masks_bulk([0], [1])
+        assert masks == [1]  # only column 0 agrees (0 == -0)
+
+    def test_random_agreement(self):
+        import random
+
+        rng = random.Random(1)
+        rows = [tuple(rng.randint(0, 2) for _ in range(9)) for _ in range(30)]
+        data = preprocess(Relation.from_rows(rows))
+        rows_a = list(range(15))
+        rows_b = list(range(15, 30))
+        bulk = data.agree_masks_bulk(rows_a, rows_b)
+        for a, b, mask in zip(rows_a, rows_b, bulk):
+            assert mask == data.agree_mask(a, b)
+
+
+class TestStrippedPartitions:
+    def test_clusters_iteration(self, patient_relation):
+        data = preprocess(patient_relation)
+        clusters = list(data.iter_clusters())
+        # Name is a key: no clusters; Age has 2; Blood 2; Gender 2; Medicine 3.
+        attributes = [attribute for attribute, _ in clusters]
+        assert attributes.count(0) == 0
+        assert attributes.count(1) == 2
+        assert attributes.count(3) == 2
+
+    def test_partition_of_key_column_is_empty(self, patient_relation):
+        data = preprocess(patient_relation)
+        assert data.stripped[0].is_superkey()
+
+    def test_labels_view(self, patient_relation):
+        data = preprocess(patient_relation)
+        assert list(data.labels(3)) == [0, 1, 0, 0, 0, 0, 0, 1, 2]

@@ -1,0 +1,109 @@
+"""Tests for the Relation value type."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relation import Relation, default_column_names
+
+
+class TestConstruction:
+    def test_from_rows(self):
+        relation = Relation.from_rows([(1, "a"), (2, "b")], ["id", "name"])
+        assert relation.shape == (2, 2)
+        assert relation.columns == ((1, 2), ("a", "b"))
+
+    def test_from_columns(self):
+        relation = Relation.from_columns([[1, 2], ["a", "b"]], ["id", "name"])
+        assert relation.row(0) == (1, "a")
+
+    def test_default_names(self):
+        relation = Relation.from_rows([(1, 2, 3)])
+        assert relation.column_names == ("col_0", "col_1", "col_2")
+
+    def test_default_column_names_helper(self):
+        assert default_column_names(2) == ("col_0", "col_1")
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError, match="row 1"):
+            Relation.from_rows([(1, 2), (3,)])
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(ValueError, match="ragged"):
+            Relation.from_columns([[1, 2], [3]])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            Relation.from_rows([(1, 2)], ["a", "a"])
+
+    def test_name_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Relation.from_rows([(1, 2)], ["only-one"])
+
+    def test_empty_relation_needs_names(self):
+        with pytest.raises(ValueError):
+            Relation.from_rows([])
+        relation = Relation.from_rows([], ["a", "b"])
+        assert relation.shape == (0, 2)
+
+
+class TestAccess:
+    def setup_method(self):
+        self.relation = Relation.from_rows(
+            [(1, "x", True), (2, "y", False)], ["id", "tag", "flag"]
+        )
+
+    def test_row(self):
+        assert self.relation.row(1) == (2, "y", False)
+
+    def test_iter_rows(self):
+        assert list(self.relation.iter_rows()) == [(1, "x", True), (2, "y", False)]
+
+    def test_column_by_name(self):
+        assert self.relation.column("tag") == ("x", "y")
+
+    def test_column_by_index(self):
+        assert self.relation.column(0) == (1, 2)
+
+    def test_unknown_column_name(self):
+        with pytest.raises(KeyError, match="no column named"):
+            self.relation.column("missing")
+
+    def test_column_index_out_of_range(self):
+        with pytest.raises(IndexError):
+            self.relation.column(7)
+
+    def test_len_is_rows(self):
+        assert len(self.relation) == 2
+
+
+class TestSlicing:
+    def setup_method(self):
+        self.relation = Relation.from_rows(
+            [(i, i % 2, i % 3) for i in range(10)], ["a", "b", "c"], name="s"
+        )
+
+    def test_head(self):
+        head = self.relation.head(4)
+        assert head.num_rows == 4
+        assert head.num_columns == 3
+        assert head.column("a") == (0, 1, 2, 3)
+
+    def test_head_beyond_size_is_capped(self):
+        assert self.relation.head(99).num_rows == 10
+
+    def test_project_by_names(self):
+        projected = self.relation.project(["c", "a"])
+        assert projected.column_names == ("c", "a")
+        assert projected.row(4) == (1, 4)
+
+    def test_first_columns(self):
+        assert self.relation.first_columns(2).column_names == ("a", "b")
+
+    def test_first_columns_capped(self):
+        assert self.relation.first_columns(99).num_columns == 3
+
+    def test_slices_are_new_relations(self):
+        head = self.relation.head(2)
+        assert head is not self.relation
+        assert self.relation.num_rows == 10

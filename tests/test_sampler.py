@@ -1,0 +1,205 @@
+"""Tests for the sampling module: sliding windows, capa, MLFQ rounds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import EulerFDConfig, SamplingModule
+from repro.core.sampler import ClusterState
+from repro.datasets import patients
+from repro.relation import Relation, preprocess
+
+
+def sampler_for(relation: Relation, **config_kwargs) -> SamplingModule:
+    return SamplingModule(preprocess(relation), EulerFDConfig(**config_kwargs))
+
+
+class TestClusterState:
+    def make(self, size=6, window=2, history=3):
+        return ClusterState(tuple(range(size)), window, history)
+
+    def test_initial_state(self):
+        cluster = self.make()
+        assert not cluster.exhausted
+        assert not cluster.retired
+        assert cluster.active
+
+    def test_exhaustion(self):
+        cluster = self.make(size=3, window=4)
+        assert cluster.exhausted
+        assert not cluster.active
+
+    def test_window_equal_to_size_not_exhausted(self):
+        # window == len(rows) still yields exactly one pair (ends of cluster).
+        cluster = self.make(size=3, window=3)
+        assert not cluster.exhausted
+
+    def test_retirement_after_zero_streak(self):
+        cluster = self.make(history=3)
+        for capa in (0.0, 0.0, 0.0):
+            cluster.record(capa)
+        assert cluster.retired
+
+    def test_recent_nonzero_prevents_retirement(self):
+        cluster = self.make(history=3)
+        for capa in (0.0, 0.5, 0.0):
+            cluster.record(capa)
+        assert not cluster.retired
+
+    def test_old_capa_falls_out_of_history(self):
+        cluster = self.make(history=2)
+        cluster.record(5.0)
+        cluster.record(0.0)
+        cluster.record(0.0)
+        assert cluster.retired  # the 5.0 fell out of the window
+
+    def test_revive_clears_streak(self):
+        cluster = self.make(history=1)
+        cluster.record(0.0)
+        assert cluster.retired
+        cluster.revive()
+        assert cluster.active
+
+
+class TestClusterCollection:
+    def test_patient_clusters(self, patient_relation):
+        sampler = sampler_for(patient_relation)
+        # Age 2, Blood 2, Gender 2, Medicine 3 clusters; Name none.
+        assert sampler.num_clusters == 9
+
+    def test_dedupe_drops_identical_clusters(self):
+        # Two columns with identical grouping produce identical clusters.
+        relation = Relation.from_rows(
+            [(1, "a"), (1, "a"), (2, "b"), (2, "b")], ["x", "y"]
+        )
+        with_dedupe = sampler_for(relation, dedupe_clusters=True)
+        without = sampler_for(relation, dedupe_clusters=False)
+        assert with_dedupe.num_clusters == 2
+        assert without.num_clusters == 4
+
+
+class TestRounds:
+    def test_first_pass_samples_every_cluster(self, patient_relation):
+        sampler = sampler_for(patient_relation)
+        violations, stats = sampler.run_pass()
+        # A full drain samples every cluster at least once and keeps
+        # productive clusters going.
+        assert stats.cluster_samples >= sampler.num_clusters
+        assert stats.pairs_compared > 0
+        assert violations  # the patient data has plenty of non-FDs
+
+    def test_violations_have_novel_rhs_only(self, patient_relation):
+        sampler = sampler_for(patient_relation)
+        seen: set[tuple[int, int]] = set()
+        for _ in range(20):
+            violations, stats = sampler.run_pass()
+            if stats.pairs_compared == 0:
+                break
+            for agree, novel in violations:
+                for rhs in range(5):
+                    if (novel >> rhs) & 1:
+                        assert (agree, rhs) not in seen
+                        seen.add((agree, rhs))
+
+    def test_agree_mask_contains_cluster_attribute(self, patient_relation):
+        """Sampling within a cluster guarantees at least one agreement."""
+        sampler = sampler_for(patient_relation)
+        violations, _ = sampler.run_pass()
+        for agree, _ in violations:
+            assert agree != 0
+
+    def test_sampler_eventually_dries_up(self, patient_relation):
+        sampler = sampler_for(patient_relation)
+        for _ in range(100):
+            _, stats = sampler.run_pass()
+            if stats.pairs_compared == 0:
+                break
+        else:
+            pytest.fail("sampler never dried up")
+        assert not sampler.has_more()
+
+    def test_exhaustive_sampling_covers_all_intra_cluster_pairs(self):
+        """With retirement effectively disabled, every pair that agrees on
+        some attribute is eventually compared (coverage, Section IV-C)."""
+        relation = patients()
+        data = preprocess(relation)
+        sampler = SamplingModule(data, EulerFDConfig(retire_history=50))
+        total = 0
+        while sampler.has_more():
+            _, stats = sampler.run_pass()
+            if stats.pairs_compared == 0:
+                break
+            total += stats.pairs_compared
+        expected = 0
+        seen_pairs: set[tuple[int, int]] = set()
+        registered = set()
+        for _, rows in data.iter_clusters():
+            if rows in registered:
+                continue
+            registered.add(rows)
+            for window in range(2, len(rows) + 1):
+                for i in range(len(rows) - window + 1):
+                    expected += 1
+        assert total == expected
+
+    def test_total_counters_accumulate(self, patient_relation):
+        sampler = sampler_for(patient_relation)
+        sampler.run_pass()
+        sampler.run_pass()
+        assert sampler.rounds_run == 2
+        assert sampler.total_pairs > 0
+
+
+class TestRevive:
+    def test_revive_reactivates_retired_clusters(self, patient_relation):
+        sampler = sampler_for(patient_relation, retire_history=1)
+        while sampler.has_more():
+            _, stats = sampler.run_pass()
+            if stats.pairs_compared == 0:
+                break
+        revived = sampler.revive()
+        assert revived > 0
+        assert sampler.has_more()
+        assert sampler.revivals == 1
+
+    def test_revive_skips_exhausted_clusters(self):
+        relation = Relation.from_rows([(1,), (1,)], ["a"])  # one pair total
+        sampler = sampler_for(relation)
+        while sampler.has_more():
+            _, stats = sampler.run_pass()
+            if stats.pairs_compared == 0:
+                break
+        assert sampler.revive() == 0
+
+
+class TestPairCap:
+    def test_max_pairs_per_sample_thins_comparisons(self):
+        rows = [(i % 2, i) for i in range(100)]  # one cluster of 50 per label
+        relation = Relation.from_rows(rows, ["group", "id"])
+        capped = sampler_for(relation, max_pairs_per_sample=5)
+        _, stats = capped.run_pass(max_samples=capped.num_clusters)
+        assert stats.cluster_samples == capped.num_clusters
+        assert stats.pairs_compared <= 5 * capped.num_clusters
+
+    def test_uncapped_first_sample_compares_all_window_positions(self):
+        rows = [(0, i) for i in range(10)]  # a single 10-row cluster
+        relation = Relation.from_rows(rows, ["group", "id"])
+        sampler = sampler_for(relation)
+        _, stats = sampler.run_pass(max_samples=1)
+        assert stats.pairs_compared == 9  # window 2: positions 0..8
+
+    def test_max_samples_bounds_a_pass(self, patient_relation):
+        sampler = sampler_for(patient_relation)
+        _, stats = sampler.run_pass(max_samples=3)
+        assert stats.cluster_samples == 3
+
+
+class TestAdaptivePolicy:
+    def test_adaptive_config_still_discovers(self, patient_relation):
+        from repro.core import EulerFD, MlfqPolicy
+        from repro.core.config import EulerFDConfig
+
+        config = EulerFDConfig(mlfq=MlfqPolicy(adaptive=True))
+        result = EulerFD(config).discover(patient_relation)
+        baseline = EulerFD().discover(patient_relation)
+        assert result.fds == baseline.fds

@@ -1,0 +1,79 @@
+"""Tests for the Tane lattice-traversal baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import BruteForce, Tane, TaneBudgetExceeded
+from repro.fd import FD
+from repro.relation import Relation
+
+
+class TestExactness:
+    def test_patients(self, patient_relation):
+        truth = BruteForce().discover(patient_relation).fds
+        assert Tane().discover(patient_relation).fds == truth
+
+    def test_key_derived_fds_are_emitted(self, patient_relation):
+        """The key-pruning path must emit FDs whose sibling lattice nodes
+        were never generated (the classic completeness pitfall)."""
+        result = Tane().discover(patient_relation)
+        # {Age, Blood, Gender} -> Name and {Age, Gender, Medicine} -> Name.
+        assert FD.of([1, 2, 3], 0) in result.fds
+        assert FD.of([1, 3, 4], 0) in result.fds
+
+    def test_constant_column(self):
+        relation = Relation.from_rows([(1, "c"), (2, "c")], ["a", "b"])
+        result = Tane().discover(relation)
+        assert FD(0, 1) in result.fds
+
+    def test_key_column_determines_everything(self):
+        relation = Relation.from_rows(
+            [(1, "x", "p"), (2, "y", "p"), (3, "x", "q")], ["k", "u", "v"]
+        )
+        result = Tane().discover(relation)
+        assert FD.of([0], 1) in result.fds
+        assert FD.of([0], 2) in result.fds
+
+    def test_empty_relation(self):
+        relation = Relation.from_rows([], ["a", "b"])
+        result = Tane().discover(relation)
+        assert result.fds == {FD(0, 0), FD(0, 1)}
+
+    def test_single_row(self):
+        relation = Relation.from_rows([("v", 3)], ["a", "b"])
+        assert Tane().discover(relation).fds == {FD(0, 0), FD(0, 1)}
+
+    def test_single_column(self):
+        relation = Relation.from_rows([(1,), (1,)], ["a"])
+        assert Tane().discover(relation).fds == {FD(0, 0)}
+        relation = Relation.from_rows([(1,), (2,)], ["a"])
+        assert Tane().discover(relation).fds == frozenset()
+
+    def test_duplicate_rows(self):
+        relation = Relation.from_rows([(1, 2), (1, 2), (3, 4)], ["a", "b"])
+        truth = BruteForce().discover(relation).fds
+        assert Tane().discover(relation).fds == truth
+
+
+class TestBudgets:
+    def test_max_level_budget_raises(self, patient_relation):
+        with pytest.raises(TaneBudgetExceeded, match="max_level"):
+            Tane(max_level=1).discover(patient_relation)
+
+    def test_max_level_width_budget_raises(self, patient_relation):
+        with pytest.raises(TaneBudgetExceeded, match="max_level_width"):
+            Tane(max_level_width=2).discover(patient_relation)
+
+    def test_generous_budget_passes(self, patient_relation):
+        result = Tane(max_level=5, max_level_width=100).discover(
+            patient_relation
+        )
+        assert len(result.fds) == 9
+
+
+class TestStats:
+    def test_levels_and_validations_recorded(self, patient_relation):
+        stats = Tane().discover(patient_relation).stats
+        assert stats["levels"] >= 2
+        assert stats["validations"] > 0

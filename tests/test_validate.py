@@ -1,0 +1,132 @@
+"""Tests for vectorized FD validation (group keys, violations)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fd import FD, attrset
+from repro.relation import Relation, fd_holds, find_violation, group_keys, preprocess
+
+
+def rel_of(rows):
+    return preprocess(Relation.from_rows(rows))
+
+
+class TestGroupKeys:
+    def test_single_column(self):
+        data = rel_of([(1,), (2,), (1,)])
+        keys = group_keys(data, 0b1)
+        assert keys[0] == keys[2] != keys[1]
+
+    def test_multi_column(self):
+        data = rel_of([(1, "a"), (1, "b"), (1, "a")])
+        keys = group_keys(data, 0b11)
+        assert keys[0] == keys[2] != keys[1]
+
+    def test_empty_lhs_groups_everything(self):
+        data = rel_of([(1,), (2,)])
+        assert list(group_keys(data, 0)) == [0, 0]
+
+    def test_empty_relation(self):
+        data = preprocess(Relation.from_rows([], ["a"]))
+        assert group_keys(data, 0b1).size == 0
+
+    def test_fold_survives_many_columns(self):
+        # 40 columns of cardinality 8 overflow a naive fold; the
+        # re-densification path must keep grouping exact.
+        import random
+
+        rng = random.Random(2)
+        rows = [tuple(rng.randint(0, 7) for _ in range(40)) for _ in range(30)]
+        rows.append(rows[0])  # guarantee one true duplicate group
+        data = rel_of(rows)
+        keys = group_keys(data, attrset.universe(40))
+        groups: dict[int, list[int]] = {}
+        for row, key in enumerate(keys):
+            groups.setdefault(int(key), []).append(row)
+        expected: dict[tuple, list[int]] = {}
+        for row_index, row in enumerate(rows):
+            expected.setdefault(row, []).append(row_index)
+        assert sorted(map(tuple, groups.values())) == sorted(
+            map(tuple, expected.values())
+        )
+
+
+class TestFdHolds:
+    def test_valid(self):
+        data = rel_of([(1, "a"), (2, "b"), (1, "a")])
+        assert fd_holds(data, FD.of([0], 1))
+
+    def test_invalid(self):
+        data = rel_of([(1, "a"), (1, "b")])
+        assert not fd_holds(data, FD.of([0], 1))
+
+    def test_empty_lhs_constant_column(self):
+        data = rel_of([(1, "c"), (2, "c")])
+        assert fd_holds(data, FD(0, 1))
+        assert not fd_holds(data, FD(0, 0))
+
+    def test_tiny_relations_always_hold(self):
+        assert fd_holds(preprocess(Relation.from_rows([], ["a"])), FD(0, 0))
+        assert fd_holds(rel_of([(1, 2)]), FD.of([0], 1))
+
+
+class TestFindViolation:
+    def test_returns_witness(self):
+        data = rel_of([(1, "a"), (2, "x"), (1, "b")])
+        witness = find_violation(data, FD.of([0], 1))
+        assert witness is not None
+        row_a, row_b = witness
+        assert {row_a, row_b} == {0, 2}
+
+    def test_none_when_valid(self):
+        data = rel_of([(1, "a"), (2, "b")])
+        assert find_violation(data, FD.of([0], 1)) is None
+
+    def test_witness_actually_violates(self):
+        import random
+
+        rng = random.Random(8)
+        rows = [tuple(rng.randint(0, 2) for _ in range(3)) for _ in range(25)]
+        data = rel_of(rows)
+        for lhs in range(1, 8):
+            for rhs in range(3):
+                if (lhs >> rhs) & 1:
+                    continue
+                witness = find_violation(data, FD(lhs, rhs))
+                if witness is None:
+                    assert fd_holds(data, FD(lhs, rhs))
+                else:
+                    row_a, row_b = witness
+                    agree = data.agree_mask(row_a, row_b)
+                    assert lhs & ~agree == 0  # agree on all of LHS
+                    assert not (agree >> rhs) & 1  # differ on RHS
+
+
+class TestAgainstNaive:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2),
+                st.integers(min_value=0, max_value=2),
+                st.integers(min_value=0, max_value=2),
+            ),
+            max_size=25,
+        ),
+        st.integers(min_value=0, max_value=7),
+        st.integers(min_value=0, max_value=2),
+    )
+    @settings(max_examples=150)
+    def test_fd_holds_matches_naive(self, rows, lhs, rhs):
+        relation = Relation.from_rows(rows, ["a", "b", "c"])
+        data = preprocess(relation)
+        fd = FD(lhs, rhs)
+        groups: dict[tuple, set[int]] = {}
+        columns = list(attrset.to_indices(lhs))
+        for row in rows:
+            key = tuple(row[c] for c in columns)
+            groups.setdefault(key, set()).add(row[rhs])
+        naive = all(len(values) == 1 for values in groups.values())
+        assert fd_holds(data, fd) == naive
