@@ -27,6 +27,7 @@ class AidFd:
     """Approximate discovery: round-based sampling, single inversion."""
 
     name = "AID-FD"
+    kind = "approximate"
 
     def __init__(
         self,

@@ -31,6 +31,7 @@ class ApproxFDs:
     """Level-wise discovery of minimal ε-approximate dependencies."""
 
     name = "ApproxFDs"
+    kind = "approximate"
 
     def __init__(
         self,

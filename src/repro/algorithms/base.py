@@ -16,11 +16,23 @@ from ..core.result import DiscoveryResult
 from ..relation.relation import Relation
 
 
+KIND_EXACT = "exact"
+KIND_APPROXIMATE = "approximate"
+
+
 @runtime_checkable
 class FDAlgorithm(Protocol):
-    """An FD discovery algorithm."""
+    """An FD discovery algorithm.
+
+    Implementations declare ``kind`` as ``"exact"`` (the discovered set
+    is provably the complete minimal cover) or ``"approximate"``
+    (sampling-based; the set may over- or under-claim).  The benchmark
+    harness relies on this to pick ground-truth producers, and lint rule
+    RPR003 enforces the declaration on every class in this package.
+    """
 
     name: str
+    kind: str
 
     def discover(self, relation: Relation) -> DiscoveryResult:
         """Discover the non-trivial minimal FDs of ``relation``."""

@@ -21,6 +21,7 @@ class BruteForce:
     """Candidate-by-candidate verification over the whole lattice."""
 
     name = "BruteForce"
+    kind = "exact"
 
     def __init__(self, max_columns: int = 14, null_equals_null: bool = True) -> None:
         self.max_columns = max_columns

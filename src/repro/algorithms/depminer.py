@@ -30,7 +30,7 @@ from .fdep import compute_agree_masks
 def maximal_agree_sets(agree_masks: set[int], excluding: int) -> list[int]:
     """The maximal agree sets (by set inclusion) not containing ``excluding``."""
     relevant = sorted(
-        (mask for mask in agree_masks if not (mask >> excluding) & 1),
+        (mask for mask in agree_masks if not attrset.contains(mask, excluding)),
         key=lambda mask: -mask.bit_count(),
     )
     maximal: list[int] = []
@@ -75,7 +75,7 @@ def minimal_transversals_levelwise(edges: list[int], vertices: int) -> list[int]
             for vertex in vertex_list:
                 if vertex < floor:
                     continue
-                bit = 1 << vertex
+                bit = attrset.singleton(vertex)
                 if expandable & bit:
                     next_frontier.append(candidate | bit)
         frontier = next_frontier
@@ -87,6 +87,7 @@ class DepMiner:
     """Exact discovery via maximal agree sets and minimal transversals."""
 
     name = "Dep-Miner"
+    kind = "exact"
 
     def __init__(self, null_equals_null: bool = True) -> None:
         self.null_equals_null = null_equals_null

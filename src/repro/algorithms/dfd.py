@@ -41,6 +41,7 @@ class Dfd:
     """Exact discovery via per-RHS randomized lattice walks."""
 
     name = "DFD"
+    kind = "exact"
 
     def __init__(self, seed: int = 0, null_equals_null: bool = True) -> None:
         self.seed = seed

@@ -57,13 +57,11 @@ def minimal_covers_dfs(edges: list[int], vertices: int) -> list[int]:
         if not ordered:
             return  # uncovered edges left but no usable attribute
         for position, vertex in enumerate(ordered):
-            bit = 1 << vertex
+            bit = attrset.singleton(vertex)
             still = [edge for edge in uncovered if not edge & bit]
             # Attributes are consumed in order: later branches may not
             # reuse earlier ones, which makes the enumeration non-redundant.
-            remaining_candidates = 0
-            for later in ordered[position + 1 :]:
-                remaining_candidates |= 1 << later
+            remaining_candidates = attrset.from_indices(ordered[position + 1 :])
             search(chosen | bit, remaining_candidates, still)
 
     search(0, vertices, list(edges))
@@ -79,6 +77,7 @@ class FastFDs:
     """Exact discovery via DFS over difference-set covers."""
 
     name = "FastFDs"
+    kind = "exact"
 
     def __init__(self, null_equals_null: bool = True) -> None:
         self.null_equals_null = null_equals_null

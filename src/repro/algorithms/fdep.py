@@ -29,6 +29,7 @@ class Fdep:
     """Exact FD induction from all-pairs comparisons."""
 
     name = "Fdep"
+    kind = "exact"
 
     def __init__(self, null_equals_null: bool = True) -> None:
         self.null_equals_null = null_equals_null

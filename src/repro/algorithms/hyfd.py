@@ -36,6 +36,7 @@ class HyFD:
     """Exact hybrid FD discovery."""
 
     name = "HyFD"
+    kind = "exact"
 
     def __init__(
         self,

@@ -37,6 +37,7 @@ class Tane:
     """Exact level-wise FD discovery."""
 
     name = "Tane"
+    kind = "exact"
 
     def __init__(
         self,
@@ -189,7 +190,7 @@ class Tane:
         level_set = set(level)
         blocks: dict[int, list[int]] = {}
         for lhs in level:
-            highest = 1 << (lhs.bit_length() - 1)
+            highest = attrset.highest_bit_mask(lhs)
             blocks.setdefault(lhs ^ highest, []).append(lhs)
         candidates: list[tuple[int, int, int]] = []
         for members in blocks.values():

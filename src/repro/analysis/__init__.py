@@ -1,0 +1,23 @@
+"""Static analysis for the reproduction: lint rules & determinism audit.
+
+The ROADMAP's mandate is aggressive refactoring toward a production-scale
+system; this package is the mechanical safety net that makes that safe.
+``repro-lint`` (also ``python -m repro.analysis``) walks the source tree
+with six repo-specific AST rules — unseeded randomness, bitmask
+encapsulation, the algorithm name/kind contract, mutable defaults,
+public-API annotations, numpy dtype hygiene — and fails CI on any new
+finding.  See DESIGN.md, "Analysis & invariants", for the rule catalogue
+and the suppression/baseline workflow.
+"""
+
+from .engine import AnalysisResult, Finding, Module, Rule, analyze
+from .rules import default_rules
+
+__all__ = [
+    "AnalysisResult",
+    "Finding",
+    "Module",
+    "Rule",
+    "analyze",
+    "default_rules",
+]

@@ -1,0 +1,75 @@
+"""Baseline files: grandfathering findings without silencing the rule.
+
+A baseline is a JSON document mapping ``"RULE\\tpath\\tmessage"`` keys to
+occurrence counts.  ``repro-lint --update-baseline`` writes the current
+findings into it; subsequent runs report baselined findings separately
+and do not fail on them.  Keys carry no line numbers, so moving a
+grandfathered finding around a file does not churn the baseline — but
+*adding* a second identical violation to the same file does fail, which
+is the point: the debt is frozen, not licensed to grow.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from .engine import Finding
+
+_SEPARATOR = "\t"
+_VERSION = 1
+
+
+def _key(finding: Finding) -> str:
+    rule, path, message = finding.baseline_key()
+    return _SEPARATOR.join((rule, path, message))
+
+
+def load(path: Path) -> Counter[str]:
+    """Read a baseline file; a missing file is an empty baseline."""
+    if not path.exists():
+        return Counter()
+    document = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(document, dict) or "findings" not in document:
+        raise ValueError(f"{path} is not a repro-lint baseline file")
+    counts: Counter[str] = Counter()
+    for key, count in document["findings"].items():
+        counts[key] = int(count)
+    return counts
+
+
+def save(path: Path, findings: list[Finding]) -> None:
+    """Write ``findings`` as the new baseline (sorted, stable output)."""
+    counts = Counter(_key(finding) for finding in findings)
+    document = {
+        "version": _VERSION,
+        "comment": (
+            "Grandfathered repro-lint findings. Regenerate with "
+            "`repro-lint --update-baseline`; shrink it whenever you can."
+        ),
+        "findings": {key: counts[key] for key in sorted(counts)},
+    }
+    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+
+
+def partition(
+    findings: list[Finding], baseline: Counter[str]
+) -> tuple[list[Finding], list[Finding]]:
+    """Split findings into (new, grandfathered) against ``baseline``.
+
+    Each baseline entry absorbs at most its recorded count of matching
+    findings; the earliest occurrences (by line) are the ones absorbed,
+    so newly added duplicates surface as new findings.
+    """
+    remaining = Counter(baseline)
+    new: list[Finding] = []
+    grandfathered: list[Finding] = []
+    for finding in sorted(findings):
+        key = _key(finding)
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            grandfathered.append(finding)
+        else:
+            new.append(finding)
+    return new, grandfathered

@@ -1,0 +1,219 @@
+"""Command-line front end: ``repro-lint`` / ``python -m repro.analysis``.
+
+Examples::
+
+    repro-lint                        # lint the installed repro package
+    repro-lint src/repro tests        # explicit roots
+    repro-lint --format json          # machine-readable findings
+    repro-lint --select RPR001,RPR004 # subset of rules
+    repro-lint --update-baseline      # grandfather the current findings
+    repro-lint --list-rules           # document every rule code
+
+Exit status: 0 when no *new* findings (baselined ones don't count),
+1 when new findings exist, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+from . import baseline as baseline_io
+from .engine import AnalysisResult, Finding, analyze
+from .rules import default_rules
+
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+
+def _default_root() -> Path:
+    """The ``repro`` package this module is installed in."""
+    return Path(__file__).resolve().parents[1]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based lint & determinism audit for the EulerFD "
+            "reproduction (rules RPR001-RPR006)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to scan (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        metavar="FILE",
+        help=(
+            "baseline file of grandfathered findings "
+            f"(default: {DEFAULT_BASELINE_NAME} next to the first scan root, "
+            "when present)"
+        ),
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to absorb every current finding, then exit 0",
+    )
+    parser.add_argument(
+        "--fail-on-findings",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="exit 1 when new findings exist (default: on; CI passes it explicitly)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="describe every rule code and exit",
+    )
+    return parser
+
+
+def _resolve_baseline_path(explicit: Path | None, roots: Sequence[Path]) -> Path | None:
+    if explicit is not None:
+        return explicit
+    if not roots:
+        return None
+    anchor = roots[0].resolve()
+    if anchor.is_file():
+        anchor = anchor.parent
+    for directory in (anchor, *anchor.parents):
+        candidate = directory / DEFAULT_BASELINE_NAME
+        if candidate.exists():
+            return candidate
+    return None
+
+
+def _render_text(
+    new: list[Finding], grandfathered: list[Finding], result: AnalysisResult
+) -> str:
+    lines = [finding.format() for finding in new]
+    if grandfathered:
+        lines.append(
+            f"({len(grandfathered)} baselined finding"
+            f"{'s' if len(grandfathered) != 1 else ''} suppressed)"
+        )
+    for failed in result.parse_errors:
+        lines.append(f"{failed}: could not parse (skipped)")
+    summary = (
+        f"{result.files_scanned} files scanned, {len(new)} finding"
+        f"{'s' if len(new) != 1 else ''}"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def _render_json(
+    new: list[Finding], grandfathered: list[Finding], result: AnalysisResult
+) -> str:
+    def encode(finding: Finding) -> dict[str, object]:
+        return {
+            "path": finding.path,
+            "line": finding.line,
+            "col": finding.col,
+            "rule": finding.rule,
+            "message": finding.message,
+        }
+
+    return json.dumps(
+        {
+            "files_scanned": result.files_scanned,
+            "parse_errors": result.parse_errors,
+            "findings": [encode(finding) for finding in new],
+            "baselined": [encode(finding) for finding in grandfathered],
+        },
+        indent=2,
+    )
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in default_rules():
+        lines.append(f"{rule.code}  {rule.name}")
+        lines.append(f"    {rule.rationale}")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    try:
+        return _run(argv)
+    except BrokenPipeError:
+        # Output piped into e.g. `head`; the findings already printed
+        # are all the consumer wanted.  Exit quietly via the devnull
+        # dance so the interpreter's stream flush does not traceback.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 1
+
+
+def _run(argv: Sequence[str] | None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        print(_list_rules())
+        return 0
+
+    roots = list(options.paths) or [_default_root()]
+    for root in roots:
+        if not root.exists():
+            parser.error(f"path does not exist: {root}")
+
+    select = None
+    if options.select:
+        select = [code.strip() for code in options.select.split(",") if code.strip()]
+        known = {rule.code for rule in default_rules()}
+        unknown = sorted(set(select) - known)
+        if unknown:
+            parser.error(f"unknown rule code(s): {', '.join(unknown)}")
+
+    result = analyze(roots, default_rules(), select=select)
+
+    baseline_path = _resolve_baseline_path(options.baseline, roots)
+    if options.update_baseline:
+        target = baseline_path or roots[0].resolve() / DEFAULT_BASELINE_NAME
+        if target.is_dir():
+            target = target / DEFAULT_BASELINE_NAME
+        baseline_io.save(target, result.findings)
+        print(f"baseline written: {target} ({len(result.findings)} findings)")
+        return 0
+
+    known_findings = baseline_io.load(baseline_path) if baseline_path else None
+    if known_findings:
+        new, grandfathered = baseline_io.partition(result.findings, known_findings)
+    else:
+        new, grandfathered = result.findings, []
+
+    if options.format == "json":
+        print(_render_json(new, grandfathered, result))
+    else:
+        print(_render_text(new, grandfathered, result))
+
+    if result.parse_errors:
+        return 1
+    if new and options.fail_on_findings:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,551 @@
+"""The repo-specific rules enforced by ``repro-lint``.
+
+Each rule mechanically guards one invariant the EulerFD reproduction
+depends on for its results to replicate (see DESIGN.md, "Analysis &
+invariants"):
+
+========  =====================================================
+RPR001    determinism — no unseeded randomness, no hash-ordered
+          iteration feeding FD output paths
+RPR002    bitmask encapsulation — shift arithmetic on attribute
+          masks belongs in ``fd/attrset.py`` or a declared kernel
+RPR003    algorithm contract — algorithms declare ``name``,
+          ``kind`` ("exact" / "approximate") and ``discover``
+RPR004    no mutable default arguments
+RPR005    exported functions carry full type annotations
+RPR006    numpy constructions in ``relation/`` pin ``dtype=``
+========  =====================================================
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from pathlib import Path
+
+from .engine import Finding, Module, Rule
+
+_COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+#: ``random``-module functions that draw from the shared global RNG.
+_GLOBAL_RNG_FUNCTIONS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "randbytes",
+        "getrandbits",
+        "shuffle",
+        "choice",
+        "choices",
+        "sample",
+        "uniform",
+        "triangular",
+        "gauss",
+        "normalvariate",
+        "expovariate",
+        "betavariate",
+        "paretovariate",
+        "vonmisesvariate",
+        "weibullvariate",
+        "lognormvariate",
+    }
+)
+
+
+def _is_module(node: ast.expr, *names: str) -> bool:
+    return isinstance(node, ast.Name) and node.id in names
+
+
+class DeterminismRule(Rule):
+    """RPR001 — every random draw must be seeded, every FD-facing
+    iteration must have a defined order.
+
+    The paper's accuracy/runtime tables only replicate when a fixed seed
+    fully determines the discovery path; the global ``random`` RNG and
+    ``PYTHONHASHSEED``-dependent set ordering both break that silently.
+    """
+
+    code = "RPR001"
+    name = "determinism"
+    rationale = (
+        "unseeded randomness or hash-ordered iteration makes discovery "
+        "results irreproducible across runs and interpreters"
+    )
+    interests = (ast.Call, ast.For, *_COMPREHENSIONS)
+
+    #: packages whose iteration order feeds FD output paths
+    _ORDERED_PACKAGES = ("core", "algorithms", "fd")
+
+    def visit(self, node: ast.AST, module: Module) -> Iterator[Finding]:
+        if isinstance(node, ast.Call):
+            yield from self._check_call(node, module)
+        elif isinstance(node, ast.For):
+            yield from self._check_iteration(node.iter, module)
+        elif isinstance(node, _COMPREHENSIONS):
+            for generator in node.generators:
+                yield from self._check_iteration(generator.iter, module)
+
+    def _check_call(self, node: ast.Call, module: Module) -> Iterator[Finding]:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        # random.shuffle(...), random.random(), ... — the global RNG.
+        if _is_module(func.value, "random") and func.attr in _GLOBAL_RNG_FUNCTIONS:
+            yield self.finding(
+                module,
+                node,
+                f"call to global-RNG random.{func.attr}(); construct a "
+                "seeded random.Random(seed) instead",
+            )
+            return
+        # random.Random() with no seed argument.
+        if (
+            _is_module(func.value, "random")
+            and func.attr == "Random"
+            and not node.args
+            and not node.keywords
+        ):
+            yield self.finding(
+                module,
+                node,
+                "random.Random() constructed without an explicit seed",
+            )
+            return
+        # numpy's global RNG: np.random.<anything>, and the modern
+        # default_rng() when called seedless.
+        value = func.value
+        if (
+            isinstance(value, ast.Attribute)
+            and value.attr == "random"
+            and _is_module(value.value, "np", "numpy")
+        ):
+            if func.attr == "default_rng" and (node.args or node.keywords):
+                return  # seeded generator: fine
+            yield self.finding(
+                module,
+                node,
+                f"numpy.random.{func.attr}() draws from global/unseeded "
+                "state; pass an explicit seed",
+            )
+
+    def _check_iteration(self, source: ast.expr, module: Module) -> Iterator[Finding]:
+        if not module.in_packages(*self._ORDERED_PACKAGES):
+            return
+        if isinstance(source, ast.Set):
+            yield self.finding(
+                module,
+                source,
+                "iteration over a set literal: order depends on "
+                "PYTHONHASHSEED; sort explicitly",
+            )
+        elif isinstance(source, ast.Call):
+            func = source.func
+            if isinstance(func, ast.Name) and func.id in {"set", "frozenset"}:
+                yield self.finding(
+                    module,
+                    source,
+                    f"iteration over {func.id}(...): order depends on "
+                    "PYTHONHASHSEED; sort explicitly",
+                )
+            elif isinstance(func, ast.Attribute) and func.attr == "keys":
+                yield self.finding(
+                    module,
+                    source,
+                    "iteration over .keys(): iterate the mapping in an "
+                    "explicit (sorted or insertion) order instead",
+                )
+
+
+class BitmaskEncapsulationRule(Rule):
+    """RPR002 — attribute-mask shift arithmetic lives in ``fd/attrset.py``.
+
+    ``attrset`` names every mask idiom (``singleton``, ``contains``,
+    ``lowest_bit`` …).  Plain ``&``/``|`` unions and intersections are the
+    documented convention and stay legal everywhere, but raw ``<<``/``>>``
+    index-to-mask conversion outside the kernel hides the encoding and is
+    where off-by-one and sign bugs creep in during refactors.  Hot-loop
+    modules may opt out with ``# repro-lint: disable-file=RPR002`` plus a
+    justification comment.
+    """
+
+    code = "RPR002"
+    name = "bitmask-encapsulation"
+    rationale = (
+        "raw shift arithmetic on attribute masks outside fd/attrset.py "
+        "bypasses the bitmask encapsulation layer"
+    )
+    interests = (ast.BinOp, ast.AugAssign)
+
+    def visit(self, node: ast.AST, module: Module) -> Iterator[Finding]:
+        if module.relpath.endswith("attrset.py"):
+            return
+        if isinstance(node, ast.BinOp):
+            op, left, right = node.op, node.left, node.right
+        else:
+            assert isinstance(node, ast.AugAssign)
+            op, left, right = node.op, node.target, node.value
+        if not isinstance(op, (ast.LShift, ast.RShift)):
+            return
+        # Constant << constant is a plain numeric literal (e.g. a size
+        # limit), not attribute-mask arithmetic.
+        if isinstance(left, ast.Constant) and isinstance(right, ast.Constant):
+            return
+        symbol = "<<" if isinstance(op, ast.LShift) else ">>"
+        yield self.finding(
+            module,
+            node,
+            f"raw `{symbol}` on an attribute mask; use the fd.attrset "
+            "helpers (singleton/contains/...) or declare the module a "
+            "mask kernel",
+        )
+
+
+class AlgorithmContractRule(Rule):
+    """RPR003 — every discovery algorithm declares its contract.
+
+    Public classes in ``algorithms/`` exposing ``discover`` must satisfy
+    the :class:`repro.algorithms.base.FDAlgorithm` protocol: a ``name``
+    string and a ``kind`` of ``"exact"`` or ``"approximate"``, so
+    benchmarks and metrics can refuse to score an approximate result as
+    ground truth.
+    """
+
+    code = "RPR003"
+    name = "algorithm-contract"
+    rationale = (
+        "algorithms missing name/kind declarations break the benchmark "
+        "harness's exact-vs-approximate accounting"
+    )
+    _KINDS = ("exact", "approximate")
+
+    def check_module(self, module: Module) -> Iterator[Finding]:
+        if not module.in_packages("algorithms"):
+            return
+        if Path(module.relpath).name in {"base.py", "__init__.py"}:
+            return
+        for statement in module.tree.body:
+            if not isinstance(statement, ast.ClassDef):
+                continue
+            if statement.name.startswith("_"):
+                continue
+            methods = {
+                item.name
+                for item in statement.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            if "discover" not in methods:
+                continue  # helper/value classes are not algorithms
+            declared = self._class_constants(statement)
+            if "name" not in declared:
+                yield self.finding(
+                    module,
+                    statement,
+                    f"algorithm class {statement.name} does not declare a "
+                    "`name` string",
+                )
+            kind = declared.get("kind")
+            if kind is None:
+                yield self.finding(
+                    module,
+                    statement,
+                    f"algorithm class {statement.name} must declare "
+                    '`kind = "exact"` or `kind = "approximate"`',
+                )
+            elif kind not in self._KINDS:
+                yield self.finding(
+                    module,
+                    statement,
+                    f"algorithm class {statement.name} declares kind="
+                    f"{kind!r}; expected one of {self._KINDS}",
+                )
+
+    @staticmethod
+    def _class_constants(cls: ast.ClassDef) -> dict[str, object]:
+        constants: dict[str, object] = {}
+        for item in cls.body:
+            if isinstance(item, ast.Assign):
+                targets = item.targets
+                value = item.value
+            elif isinstance(item, ast.AnnAssign) and item.value is not None:
+                targets = [item.target]
+                value = item.value
+            else:
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    constants[target.id] = (
+                        value.value if isinstance(value, ast.Constant) else Ellipsis
+                    )
+        return constants
+
+
+class MutableDefaultRule(Rule):
+    """RPR004 — no mutable default arguments.
+
+    A ``def f(cache={})`` default is evaluated once at definition time
+    and silently shared across calls — state leaking between discovery
+    runs is exactly the kind of bug the determinism audit exists to stop.
+    """
+
+    code = "RPR004"
+    name = "mutable-default"
+    rationale = "mutable defaults are shared across calls and leak state"
+    interests = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+    _MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "deque"})
+
+    def visit(self, node: ast.AST, module: Module) -> Iterator[Finding]:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+        arguments = node.args
+        defaults = list(arguments.defaults) + [
+            default for default in arguments.kw_defaults if default is not None
+        ]
+        label = getattr(node, "name", "<lambda>")
+        for default in defaults:
+            if self._is_mutable(default):
+                yield self.finding(
+                    module,
+                    default,
+                    f"mutable default argument in {label}(); default to "
+                    "None and construct inside the body",
+                )
+
+    def _is_mutable(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, *_COMPREHENSIONS)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in self._MUTABLE_CALLS
+        )
+
+
+class PublicApiAnnotationRule(Rule):
+    """RPR005 — exported functions carry full annotations.
+
+    A function is *exported* when a package ``__init__.py`` lists it in
+    ``__all__`` (directly or re-exported through a chain of packages).
+    Exported signatures are the refactoring contract; full parameter and
+    return annotations keep them checkable.
+    """
+
+    code = "RPR005"
+    name = "public-api-annotations"
+    rationale = (
+        "unannotated exported functions make the public API contract "
+        "unverifiable by type checkers"
+    )
+
+    def __init__(self) -> None:
+        # scan-base dir -> {module relpath -> {function names exported}}
+        self._export_cache: dict[Path, dict[str, set[str]]] = {}
+
+    def check_module(self, module: Module) -> Iterator[Finding]:
+        base = self._scan_base(module)
+        exports = self._export_cache.get(base)
+        if exports is None:
+            exports = _build_export_map(base)
+            self._export_cache[base] = exports
+        exported_here = exports.get(module.relpath)
+        if not exported_here:
+            return
+        for statement in module.tree.body:
+            if not isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if statement.name not in exported_here:
+                continue
+            yield from self._check_signature(statement, module)
+
+    @staticmethod
+    def _scan_base(module: Module) -> Path:
+        path = module.path
+        for _ in module.relpath.split("/"):
+            path = path.parent
+        return path
+
+    def _check_signature(
+        self, function: ast.FunctionDef | ast.AsyncFunctionDef, module: Module
+    ) -> Iterator[Finding]:
+        arguments = function.args
+        positional = arguments.posonlyargs + arguments.args
+        missing = [
+            argument.arg
+            for argument in (*positional, *arguments.kwonlyargs)
+            if argument.annotation is None and argument.arg not in ("self", "cls")
+        ]
+        for variadic in (arguments.vararg, arguments.kwarg):
+            if variadic is not None and variadic.annotation is None:
+                missing.append(variadic.arg)
+        if missing:
+            yield self.finding(
+                module,
+                function,
+                f"exported function {function.name}() has unannotated "
+                f"parameter(s): {', '.join(missing)}",
+            )
+        if function.returns is None:
+            yield self.finding(
+                module,
+                function,
+                f"exported function {function.name}() has no return "
+                "annotation",
+            )
+
+
+class NumpyDtypeRule(Rule):
+    """RPR006 — numpy constructions in ``relation/`` pin their dtype.
+
+    The label matrices and partition arrays are the substrate every
+    algorithm compares on; letting numpy infer a platform-dependent
+    default (``int32`` on Windows, ``int64`` elsewhere) is a silent
+    cross-platform divergence in overflow and hashing behaviour.
+    """
+
+    code = "RPR006"
+    name = "numpy-dtype"
+    rationale = (
+        "dtype inference differs across platforms; relation arrays must "
+        "pin an explicit dtype"
+    )
+    interests = (ast.Call,)
+
+    _CONSTRUCTORS = frozenset({"array", "empty", "zeros", "ones", "full", "arange"})
+
+    def visit(self, node: ast.AST, module: Module) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        if not module.in_packages("relation"):
+            return
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr in self._CONSTRUCTORS
+            and _is_module(func.value, "np", "numpy")
+        ):
+            return
+        if any(keyword.arg == "dtype" for keyword in node.keywords):
+            return
+        yield self.finding(
+            module,
+            node,
+            f"np.{func.attr}(...) without an explicit dtype=; dtype "
+            "inference is platform-dependent",
+        )
+
+
+def _build_export_map(base: Path) -> dict[str, set[str]]:
+    """Map module relpaths to the function names packages export.
+
+    Parses every ``__init__.py`` under ``base``, reads its ``__all__``,
+    and resolves each exported name through ``from . import``-style
+    re-export chains to the module that actually defines it.  Only names
+    that resolve to a top-level ``def`` are recorded — classes, constants
+    and submodule re-exports are out of scope for RPR005.
+    """
+    inits: dict[Path, tuple[list[str], dict[str, tuple[Path, str]]]] = {}
+    for init in sorted(base.rglob("__init__.py")):
+        if "__pycache__" in init.parts:
+            continue
+        parsed = _parse_init(init)
+        if parsed is not None:
+            inits[init] = parsed
+
+    exports: dict[str, set[str]] = {}
+
+    def resolve(init: Path, name: str, depth: int = 0) -> tuple[Path, str] | None:
+        if depth > 8 or init not in inits:
+            return None
+        _, imports = inits[init]
+        target = imports.get(name)
+        if target is None:
+            # defined in the __init__ itself
+            return (init, name)
+        module_path, original = target
+        nested = module_path / "__init__.py"
+        if nested.exists():
+            return resolve(nested, original, depth + 1)
+        file_path = module_path.with_suffix(".py")
+        if file_path.exists():
+            if file_path.name == "__init__.py":
+                return resolve(file_path, original, depth + 1)
+            return (file_path, original)
+        return None
+
+    for init, (all_names, _) in inits.items():
+        for name in all_names:
+            resolved = resolve(init, name)
+            if resolved is None:
+                continue
+            path, original = resolved
+            if not _defines_function(path, original):
+                continue
+            relpath = path.relative_to(base).as_posix()
+            exports.setdefault(relpath, set()).add(original)
+    return exports
+
+
+def _parse_init(init: Path) -> tuple[list[str], dict[str, tuple[Path, str]]] | None:
+    """Extract (``__all__`` names, import map) from one ``__init__.py``.
+
+    The import map sends each imported-as name to ``(module path without
+    suffix, original name)``; only relative ``from``-imports are
+    considered — the public API never re-exports third-party names.
+    """
+    try:
+        tree = ast.parse(init.read_text(encoding="utf-8"))
+    except (SyntaxError, OSError):
+        return None
+    package_dir = init.parent
+    all_names: list[str] = []
+    imports: dict[str, tuple[Path, str]] = {}
+    for statement in tree.body:
+        if isinstance(statement, ast.Assign):
+            for target in statement.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    value = statement.value
+                    if isinstance(value, (ast.List, ast.Tuple)):
+                        all_names = [
+                            element.value
+                            for element in value.elts
+                            if isinstance(element, ast.Constant)
+                            and isinstance(element.value, str)
+                        ]
+        elif isinstance(statement, ast.ImportFrom) and statement.level >= 1:
+            anchor = package_dir
+            for _ in range(statement.level - 1):
+                anchor = anchor.parent
+            module_parts = statement.module.split(".") if statement.module else []
+            module_path = anchor.joinpath(*module_parts) if module_parts else anchor
+            for alias in statement.names:
+                exported_as = alias.asname or alias.name
+                if alias.name == "*":
+                    continue
+                if not module_parts:
+                    # ``from . import submodule`` — a module, not a function
+                    continue
+                imports[exported_as] = (module_path, alias.name)
+    return all_names, imports
+
+
+def _defines_function(path: Path, name: str) -> bool:
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+    except (SyntaxError, OSError):
+        return False
+    return any(
+        isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and statement.name == name
+        for statement in tree.body
+    )
+
+
+def default_rules() -> list[Rule]:
+    """One fresh instance of every shipped rule, in code order."""
+    return [
+        DeterminismRule(),
+        BitmaskEncapsulationRule(),
+        AlgorithmContractRule(),
+        MutableDefaultRule(),
+        PublicApiAnnotationRule(),
+        NumpyDtypeRule(),
+    ]

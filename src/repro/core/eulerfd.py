@@ -35,6 +35,7 @@ class EulerFD:
     induction (the paper's contribution)."""
 
     name = "EulerFD"
+    kind = "approximate"
 
     def __init__(self, config: EulerFDConfig | None = None) -> None:
         self.config = config if config is not None else EulerFDConfig()

@@ -109,6 +109,18 @@ def lowest_bit(mask: int) -> int:
     return (mask & -mask).bit_length() - 1
 
 
+def highest_bit_mask(mask: int) -> int:
+    """Return the singleton mask of the highest set attribute.
+
+    Raises ``ValueError`` on the empty set.  Lattice algorithms use this
+    to group candidates by their prefix (everything below the highest
+    member) for ordered, duplicate-free enumeration.
+    """
+    if mask == 0:
+        raise ValueError("the empty attribute set has no highest attribute")
+    return 1 << (mask.bit_length() - 1)
+
+
 def subsets_one_smaller(mask: int) -> Iterator[int]:
     """Yield every subset of ``mask`` obtained by dropping a single attribute.
 

@@ -1,3 +1,6 @@
+# repro-lint: disable-file=RPR002 — bitmask tree kernel: membership tests
+# shift per visited node in the hottest query paths, and the attrset
+# helper-call overhead is measurable there (see fd/attrset.py).
 """The extended binary LHS tree of Section IV-D (after AID-FD [3]).
 
 The tree stores a set of LHS bitmasks (for one fixed RHS attribute).  Each

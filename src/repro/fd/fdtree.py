@@ -1,3 +1,6 @@
+# repro-lint: disable-file=RPR002 — bitmask tree kernel: the traversal
+# loops shift per child node, and the attrset helper-call overhead is
+# measurable there (see fd/attrset.py on why masks stay raw ints).
 """The classic FD-tree / set-trie index [11].
 
 Fdep stores its covers in an *FD-tree*: a prefix tree over the sorted

@@ -1,3 +1,6 @@
+# repro-lint: disable-file=RPR002 — bitmask index kernel: the bucketed
+# subset/superset scans shift per stored mask, and the attrset
+# helper-call overhead is measurable there (see fd/attrset.py).
 """Indexes over sets of LHS bitmasks with subset/superset queries.
 
 Both the negative cover and the positive cover are, per right-hand-side

@@ -1,0 +1,8 @@
+"""Fixture: RPR003 — algorithm class without a kind declaration."""
+
+
+class MysteryAlgorithm:
+    name = "Mystery"
+
+    def discover(self, relation: object) -> object:
+        return relation

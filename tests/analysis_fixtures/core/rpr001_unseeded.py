@@ -1,0 +1,20 @@
+"""Fixture: RPR001 — unseeded randomness and hash-ordered iteration."""
+
+import random
+
+
+def draw_badly() -> float:
+    return random.random()  # global RNG
+
+
+def make_rng() -> random.Random:
+    return random.Random()  # no seed
+
+
+def iterate_badly(mapping: dict[str, int]) -> list[str]:
+    collected = []
+    for key in mapping.keys():
+        collected.append(key)
+    for item in {"a", "b", "c"}:
+        collected.append(item)
+    return collected

@@ -1,0 +1,9 @@
+"""Fixture: RPR002 — raw shift arithmetic on attribute masks."""
+
+
+def singleton_mask(index: int) -> int:
+    return 1 << index
+
+
+def has_attribute(mask: int, index: int) -> bool:
+    return bool((mask >> index) & 1)

@@ -1,0 +1,5 @@
+"""Fixture package exporting an unannotated function (feeds RPR005)."""
+
+from .rpr005_unannotated import exported_helper
+
+__all__ = ["exported_helper"]

@@ -1,0 +1,6 @@
+"""Fixture: RPR004 — mutable default argument."""
+
+
+def accumulate(value: int, into: list[int] = []) -> list[int]:
+    into.append(value)
+    return into

@@ -1,0 +1,5 @@
+"""Fixture: RPR005 — exported function missing annotations."""
+
+
+def exported_helper(value):
+    return value

@@ -1,0 +1,7 @@
+"""Fixture: RPR006 — numpy construction without an explicit dtype."""
+
+import numpy as np
+
+
+def make_labels(num_rows: int) -> np.ndarray:
+    return np.zeros(num_rows)

@@ -1,0 +1,214 @@
+"""Tests for the repro.analysis lint engine, rules, baseline, and CLI.
+
+The fixture snippets under ``tests/analysis_fixtures/`` are laid out as a
+miniature source tree (``core/``, ``algorithms/``, ``metrics/``,
+``relation/``) so the path-scoped rules fire exactly as they would on
+``src/repro``; each fixture file triggers findings of exactly one rule.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis import analyze, default_rules
+from repro.analysis import baseline as baseline_io
+from repro.analysis.cli import main
+
+TESTS_DIR = Path(__file__).resolve().parent
+FIXTURES = TESTS_DIR / "analysis_fixtures"
+SRC_REPRO = Path(repro.__file__).resolve().parent
+
+#: fixture file (relative to FIXTURES) -> the single rule it triggers
+EXPECTED_FIXTURE_RULES = {
+    "core/rpr001_unseeded.py": "RPR001",
+    "core/rpr002_rawmask.py": "RPR002",
+    "algorithms/rpr003_contract.py": "RPR003",
+    "metrics/rpr004_mutable_default.py": "RPR004",
+    "metrics/rpr005_unannotated.py": "RPR005",
+    "relation/rpr006_dtype.py": "RPR006",
+}
+
+
+@pytest.fixture(scope="module")
+def fixture_findings():
+    return analyze([FIXTURES], default_rules()).findings
+
+
+class TestFixtures:
+    def test_every_rule_has_a_triggering_fixture(self):
+        codes = {rule.code for rule in default_rules()}
+        assert set(EXPECTED_FIXTURE_RULES.values()) == codes
+
+    @pytest.mark.parametrize("relpath,code", sorted(EXPECTED_FIXTURE_RULES.items()))
+    def test_fixture_triggers_exactly_its_rule(self, fixture_findings, relpath, code):
+        rules_hit = {
+            finding.rule for finding in fixture_findings if finding.path == relpath
+        }
+        assert rules_hit == {code}
+
+    def test_no_findings_outside_fixture_files(self, fixture_findings):
+        unexpected = {
+            finding.path
+            for finding in fixture_findings
+            if finding.path not in EXPECTED_FIXTURE_RULES
+        }
+        assert unexpected == set()
+
+    def test_findings_carry_location_and_message(self, fixture_findings):
+        assert fixture_findings, "fixtures must produce findings"
+        for finding in fixture_findings:
+            assert finding.line >= 1
+            assert finding.col >= 1
+            assert finding.message
+            formatted = finding.format()
+            assert finding.path in formatted and finding.rule in formatted
+
+
+class TestSourceTreeIsClean:
+    def test_src_tree_clean_modulo_baseline(self):
+        """The shipped package has zero unbaselined findings."""
+        result = analyze([SRC_REPRO], default_rules())
+        assert result.parse_errors == []
+        assert result.files_scanned > 50
+        baseline_path = SRC_REPRO.parent.parent / ".repro-lint-baseline.json"
+        known = baseline_io.load(baseline_path)
+        new, _ = baseline_io.partition(result.findings, known)
+        assert [finding.format() for finding in new] == []
+
+
+class TestSuppressions:
+    def _scan(self, tmp_path: Path, source: str) -> list:
+        module = tmp_path / "core" / "snippet.py"
+        module.parent.mkdir(exist_ok=True)
+        module.write_text(textwrap.dedent(source))
+        return analyze([tmp_path], default_rules()).findings
+
+    def test_inline_disable_silences_one_line(self, tmp_path):
+        findings = self._scan(
+            tmp_path,
+            """\
+            def masks(index: int) -> tuple[int, int]:
+                allowed = 1 << index  # repro-lint: disable=RPR002
+                flagged = 1 << index
+                return allowed, flagged
+            """,
+        )
+        assert [finding.line for finding in findings] == [3]
+
+    def test_file_level_disable_silences_module(self, tmp_path):
+        findings = self._scan(
+            tmp_path,
+            """\
+            # repro-lint: disable-file=RPR002
+            def masks(index: int) -> int:
+                return 1 << index
+            """,
+        )
+        assert findings == []
+
+    def test_file_level_disable_only_covers_listed_codes(self, tmp_path):
+        findings = self._scan(
+            tmp_path,
+            """\
+            # repro-lint: disable-file=RPR002
+            import random
+
+            def draw() -> float:
+                return random.random()
+            """,
+        )
+        assert [finding.rule for finding in findings] == ["RPR001"]
+
+
+class TestBaseline:
+    def test_partition_absorbs_counted_findings(self, tmp_path):
+        module = tmp_path / "core" / "legacy.py"
+        module.parent.mkdir()
+        module.write_text("def one(index: int) -> int:\n    return 1 << index\n")
+        first = analyze([tmp_path], default_rules()).findings
+        assert len(first) == 1
+        baseline_path = tmp_path / "baseline.json"
+        baseline_io.save(baseline_path, first)
+
+        known = baseline_io.load(baseline_path)
+        new, grandfathered = baseline_io.partition(first, known)
+        assert new == [] and len(grandfathered) == 1
+
+        # A second identical violation in the same file is NOT absorbed:
+        # the baseline freezes debt, it does not license growth.
+        module.write_text(
+            "def one(index: int) -> int:\n    return 1 << index\n\n"
+            "def two(index: int) -> int:\n    return 1 << index\n"
+        )
+        second = analyze([tmp_path], default_rules()).findings
+        assert len(second) == 2
+        new, grandfathered = baseline_io.partition(second, baseline_io.load(baseline_path))
+        assert len(new) == 1 and len(grandfathered) == 1
+
+    def test_load_missing_baseline_is_empty(self, tmp_path):
+        assert baseline_io.load(tmp_path / "absent.json") == Counter()
+
+
+class TestCli:
+    def test_exits_nonzero_on_each_rule_fixture(self, capsys):
+        for code in sorted(set(EXPECTED_FIXTURE_RULES.values())):
+            status = main([str(FIXTURES), "--select", code])
+            out = capsys.readouterr().out
+            assert status == 1, code
+            assert code in out
+
+    def test_exits_zero_on_shipped_tree(self, capsys):
+        assert main([str(SRC_REPRO), "--fail-on-findings"]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_json_output(self, capsys):
+        status = main([str(FIXTURES), "--format", "json"])
+        assert status == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["files_scanned"] >= len(EXPECTED_FIXTURE_RULES)
+        rules = {finding["rule"] for finding in payload["findings"]}
+        assert rules == set(EXPECTED_FIXTURE_RULES.values())
+
+    def test_update_baseline_then_clean(self, tmp_path, capsys):
+        module = tmp_path / "core" / "legacy.py"
+        module.parent.mkdir()
+        module.write_text("def one(index: int) -> int:\n    return 1 << index\n")
+        baseline = tmp_path / ".repro-lint-baseline.json"
+        assert main([str(tmp_path), "--baseline", str(baseline), "--update-baseline"]) == 0
+        capsys.readouterr()
+        assert baseline.exists()
+        assert main([str(tmp_path), "--baseline", str(baseline)]) == 0
+        assert "baselined" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in sorted(set(EXPECTED_FIXTURE_RULES.values())):
+            assert code in out
+
+    def test_unknown_rule_code_is_a_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main([str(FIXTURES), "--select", "RPR999"])
+        assert excinfo.value.code == 2
+
+    def test_module_entry_point(self):
+        """``python -m repro.analysis`` works against a violating fixture."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC_REPRO.parent) + os.pathsep + env.get("PYTHONPATH", "")
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", str(FIXTURES / "core")],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert completed.returncode == 1
+        assert "RPR001" in completed.stdout
