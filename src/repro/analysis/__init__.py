@@ -3,21 +3,30 @@
 The ROADMAP's mandate is aggressive refactoring toward a production-scale
 system; this package is the mechanical safety net that makes that safe.
 ``repro-lint`` (also ``python -m repro.analysis``) walks the source tree
-with six repo-specific AST rules — unseeded randomness, bitmask
+with six repo-specific per-file AST rules — unseeded randomness, bitmask
 encapsulation, the algorithm name/kind contract, mutable defaults,
-public-API annotations, numpy dtype hygiene — and fails CI on any new
-finding.  See DESIGN.md, "Analysis & invariants", for the rule catalogue
-and the suppression/baseline workflow.
+public-API annotations, numpy dtype hygiene — plus three whole-program
+rules: import layering & acyclicity (RPR101), ``Pure:``/``Mutates:``
+docstring contracts against inferred mutation summaries (RPR102), and
+dead ``__all__`` exports (RPR103).  ``repro-lint --sanitize OUTDIR``
+additionally emits a shadow copy of the package in which every docstring
+contract is enforced at runtime.  See DESIGN.md, "Analysis &
+invariants", for the rule catalogue, the layer diagram, and the
+suppression/baseline workflow.
 """
 
-from .engine import AnalysisResult, Finding, Module, Rule, analyze
+from .engine import AnalysisResult, Finding, Module, ProjectRule, Rule, analyze
 from .rules import default_rules
+from .sanitize import SanitizeReport, sanitize_package
 
 __all__ = [
     "AnalysisResult",
     "Finding",
     "Module",
+    "ProjectRule",
     "Rule",
+    "SanitizeReport",
     "analyze",
     "default_rules",
+    "sanitize_package",
 ]

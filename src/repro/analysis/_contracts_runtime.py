@@ -1,0 +1,145 @@
+"""Runtime enforcement of the docstring contracts (``--sanitize``).
+
+This module is *copied into the root of the sanitized package* by
+:mod:`repro.analysis.sanitize`; instrumented modules import it relatively
+(``from ._contracts_runtime import contract``) so the shadow package
+stays self-contained.  It therefore imports nothing from ``repro`` and
+depends only on the standard library.
+
+The :func:`contract` decorator turns one declared contract into checks
+around every call:
+
+* ``Pure:`` / undeclared parameters of ``Mutates:`` — every parameter
+  the contract promises untouched is snapshotted (pickled) before the
+  call and compared after; a differing snapshot raises
+  :class:`ContractViolation`.  Unpicklable values (open files, live
+  generators) are skipped rather than consumed or guessed at.
+* ``Monotone: p via probe`` — the members of ``p`` (``list(p)``) are
+  collected before the call; afterwards every old member must still
+  satisfy ``p.probe(member)``.  This is the negative cover's append-only
+  promise: inversion may consult it, never shrink it.
+
+Checks are budgeted: after ``REPRO_CONTRACTS_MAX_CHECKS`` calls
+(default 128) a wrapper becomes a plain passthrough, so instrumented
+test runs stay roughly linear.  Set ``REPRO_CONTRACTS_DISABLE=1`` to
+strip the wrappers entirely at import time.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import os
+import pickle
+from collections.abc import Callable, Iterable
+
+_SKIP = object()
+"""Sentinel for parameters that could not be snapshotted."""
+
+_PROTOCOL = 4
+
+
+class ContractViolation(AssertionError):
+    """An instrumented call broke its declared docstring contract."""
+
+
+def _max_checks() -> int:
+    try:
+        return int(os.environ.get("REPRO_CONTRACTS_MAX_CHECKS", "128"))
+    except ValueError:
+        return 128
+
+
+def _disabled() -> bool:
+    return os.environ.get("REPRO_CONTRACTS_DISABLE", "") == "1"
+
+
+def _snapshot(value: object) -> object:
+    """Pickle a value for later comparison; ``_SKIP`` when impossible.
+
+    Byte-comparing two pickles of the *same, unmutated* object is
+    reliable: container iteration order only changes on mutation.
+    """
+    try:
+        return pickle.dumps(value, protocol=_PROTOCOL)
+    except Exception:
+        return _SKIP
+
+
+def _members(value: object) -> object:
+    """Snapshot the membership of an iterable contract parameter."""
+    if not isinstance(value, Iterable):
+        return _SKIP
+    try:
+        return list(value)
+    except Exception:
+        return _SKIP
+
+
+def contract(
+    pure: bool = False,
+    mutates: tuple[str, ...] = (),
+    monotone: tuple[tuple[str, str], ...] = (),
+) -> Callable:
+    """Decorator factory the sanitizer injects above contracted kernels."""
+    allowed = set(mutates)
+    allowed.update(name for name, _ in monotone)
+
+    def decorate(func: Callable) -> Callable:
+        if _disabled():
+            return func
+        try:
+            signature = inspect.signature(func)
+        except (TypeError, ValueError):  # builtins/descriptors: leave as-is
+            return func
+        budget = _max_checks()
+        label = getattr(func, "__qualname__", getattr(func, "__name__", "?"))
+        state = {"checks": 0}
+
+        @functools.wraps(func)
+        def wrapper(*args: object, **kwargs: object) -> object:
+            if state["checks"] >= budget:
+                return func(*args, **kwargs)
+            state["checks"] += 1
+            try:
+                bound = signature.bind(*args, **kwargs)
+            except TypeError:
+                # Let the call itself raise the real signature error.
+                return func(*args, **kwargs)
+            frozen: list[tuple[str, object, object]] = []
+            for name, value in bound.arguments.items():
+                if pure or name not in allowed:
+                    frozen.append((name, value, _snapshot(value)))
+            monotone_members: list[tuple[str, str, object, list]] = []
+            for name, probe in monotone:
+                if name not in bound.arguments:
+                    continue
+                value = bound.arguments[name]
+                members = _members(value)
+                if members is not _SKIP:
+                    monotone_members.append((name, probe, value, members))
+            result = func(*args, **kwargs)
+            for name, value, before in frozen:
+                if before is _SKIP:
+                    continue
+                if _snapshot(value) != before:
+                    raise ContractViolation(
+                        f"{label}: parameter {name!r} was mutated but the "
+                        "contract promises it untouched"
+                    )
+            for name, probe, value, members in monotone_members:
+                check = getattr(value, probe, None)
+                if check is None:
+                    continue
+                for member in members:
+                    if not check(member):
+                        raise ContractViolation(
+                            f"{label}: Monotone contract broken — "
+                            f"{name}.{probe}({member!r}) no longer holds "
+                            "for a member present before the call"
+                        )
+            return result
+
+        return wrapper
+
+    return decorate

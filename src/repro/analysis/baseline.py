@@ -27,12 +27,25 @@ def _key(finding: Finding) -> str:
 
 
 def load(path: Path) -> Counter[str]:
-    """Read a baseline file; a missing file is an empty baseline."""
+    """Read a baseline file; a missing file is an empty baseline.
+
+    Raises :class:`ValueError` for anything that is not a version-1
+    baseline document — a corrupt file or one written by a future
+    repro-lint must fail loudly, not silently un-grandfather (or worse,
+    silently absorb) findings.
+    """
     if not path.exists():
         return Counter()
     document = json.loads(path.read_text(encoding="utf-8"))
     if not isinstance(document, dict) or "findings" not in document:
         raise ValueError(f"{path} is not a repro-lint baseline file")
+    version = document.get("version")
+    if version != _VERSION:
+        raise ValueError(
+            f"{path} has baseline version {version!r}; this repro-lint "
+            f"reads version {_VERSION}. Regenerate it with "
+            "`repro-lint --update-baseline`."
+        )
     counts: Counter[str] = Counter()
     for key, count in document["findings"].items():
         counts[key] = int(count)

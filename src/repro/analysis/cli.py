@@ -5,9 +5,13 @@ Examples::
     repro-lint                        # lint the installed repro package
     repro-lint src/repro tests        # explicit roots
     repro-lint --format json          # machine-readable findings
+    repro-lint --format github        # ::error workflow annotations (CI)
     repro-lint --select RPR001,RPR004 # subset of rules
     repro-lint --update-baseline      # grandfather the current findings
     repro-lint --list-rules           # document every rule code
+    repro-lint src/repro --sanitize build/sanitized
+                                      # emit the contract-asserting shadow
+                                      # package (see analysis/sanitize.py)
 
 Exit status: 0 when no *new* findings (baselined ones don't count),
 1 when new findings exist, 2 on usage errors.
@@ -37,8 +41,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description=(
-            "AST-based lint & determinism audit for the EulerFD "
-            "reproduction (rules RPR001-RPR006)."
+            "Static analysis for the EulerFD reproduction: per-file "
+            "lint (RPR001-RPR006) plus whole-program import-layering, "
+            "purity-contract, and dead-export passes (RPR101-RPR103)."
         ),
     )
     parser.add_argument(
@@ -49,9 +54,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
-        help="output format (default: text)",
+        help=(
+            "output format (default: text); 'github' emits ::error "
+            "workflow annotations plus the text summary"
+        ),
     )
     parser.add_argument(
         "--select",
@@ -83,6 +91,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="describe every rule code and exit",
+    )
+    parser.add_argument(
+        "--sanitize",
+        type=Path,
+        metavar="OUTDIR",
+        help=(
+            "instead of linting, write a shadow copy of the (single) "
+            "package root with every docstring contract enforced as a "
+            "runtime assertion; put OUTDIR on PYTHONPATH to test it"
+        ),
     )
     return parser
 
@@ -144,6 +162,51 @@ def _render_json(
     )
 
 
+def _annotation_escape(text: str) -> str:
+    """Escape a message for a GitHub workflow-command property/value."""
+    return (
+        text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    )
+
+
+def _render_github(
+    new: list[Finding], grandfathered: list[Finding], result: AnalysisResult
+) -> str:
+    """``::error`` workflow annotations, one per new finding.
+
+    Annotation paths must be workspace-relative for GitHub to attach
+    them to the diff, so the scan-root-relative finding paths are mapped
+    back through the absolute paths the engine recorded.
+    """
+    cwd = Path.cwd()
+    lines = []
+    for finding in new:
+        recorded = result.paths.get(finding.path)
+        display = finding.path
+        if recorded is not None:
+            try:
+                display = Path(recorded).relative_to(cwd).as_posix()
+            except ValueError:
+                display = recorded
+        lines.append(
+            f"::error file={_annotation_escape(display)},"
+            f"line={finding.line},col={finding.col},"
+            f"title={finding.rule}::{_annotation_escape(finding.message)}"
+        )
+    if grandfathered:
+        lines.append(
+            f"({len(grandfathered)} baselined finding"
+            f"{'s' if len(grandfathered) != 1 else ''} suppressed)"
+        )
+    for failed in result.parse_errors:
+        lines.append(f"{failed}: could not parse (skipped)")
+    lines.append(
+        f"{result.files_scanned} files scanned, {len(new)} finding"
+        f"{'s' if len(new) != 1 else ''}"
+    )
+    return "\n".join(lines)
+
+
 def _list_rules() -> str:
     lines = []
     for rule in default_rules():
@@ -178,6 +241,18 @@ def _run(argv: Sequence[str] | None) -> int:
         if not root.exists():
             parser.error(f"path does not exist: {root}")
 
+    if options.sanitize is not None:
+        if len(roots) != 1:
+            parser.error("--sanitize takes exactly one package root")
+        from .sanitize import sanitize_package
+
+        try:
+            report = sanitize_package(roots[0], options.sanitize)
+        except ValueError as error:
+            parser.error(str(error))
+        print(report.summary())
+        return 0
+
     select = None
     if options.select:
         select = [code.strip() for code in options.select.split(",") if code.strip()]
@@ -197,7 +272,10 @@ def _run(argv: Sequence[str] | None) -> int:
         print(f"baseline written: {target} ({len(result.findings)} findings)")
         return 0
 
-    known_findings = baseline_io.load(baseline_path) if baseline_path else None
+    try:
+        known_findings = baseline_io.load(baseline_path) if baseline_path else None
+    except ValueError as error:
+        parser.error(str(error))
     if known_findings:
         new, grandfathered = baseline_io.partition(result.findings, known_findings)
     else:
@@ -205,6 +283,8 @@ def _run(argv: Sequence[str] | None) -> int:
 
     if options.format == "json":
         print(_render_json(new, grandfathered, result))
+    elif options.format == "github":
+        print(_render_github(new, grandfathered, result))
     else:
         print(_render_text(new, grandfathered, result))
 

@@ -127,6 +127,23 @@ class Rule:
         )
 
 
+class ProjectRule(Rule):
+    """Base class for whole-program rules (RPR101…).
+
+    Unlike per-file rules, a project rule sees every module the scan
+    loaded at once, after all roots were walked.  ``shared`` is a scratch
+    dict with the lifetime of one ``analyze()`` call: rules use it to
+    share expensive whole-program structures (the import graph, mutation
+    summaries) instead of recomputing them per rule.
+    """
+
+    def check_modules(
+        self, modules: Sequence[Module], shared: dict
+    ) -> Iterator[Finding]:
+        """Whole-project hook; default yields nothing."""
+        return iter(())
+
+
 @dataclass
 class AnalysisResult:
     """Everything one run produced, before baseline filtering."""
@@ -134,6 +151,8 @@ class AnalysisResult:
     findings: list[Finding] = field(default_factory=list)
     files_scanned: int = 0
     parse_errors: list[str] = field(default_factory=list)
+    paths: dict[str, str] = field(default_factory=dict)
+    """Finding relpath -> absolute filesystem path (for annotations)."""
 
 
 def _parse_suppressions(lines: Sequence[str]) -> tuple[frozenset[str], dict[int, frozenset[str]]]:
@@ -222,7 +241,11 @@ def analyze(
     if select is not None:
         wanted = set(select)
         rules = [rule for rule in rules if rule.code in wanted]
+    per_module_rules = [rule for rule in rules if not isinstance(rule, ProjectRule)]
+    project_rules = [rule for rule in rules if isinstance(rule, ProjectRule)]
     result = AnalysisResult()
+    loaded: list[tuple[Module, dict[int, frozenset[str]]]] = []
+    seen_paths: set[Path] = set()
     for root in roots:
         root = root.resolve()
         scan_base = root if root.is_dir() else root.parent
@@ -232,14 +255,29 @@ def analyze(
         while (scan_base / "__init__.py").exists():
             scan_base = scan_base.parent
         for path in iter_python_files(root):
+            if path in seen_paths:
+                continue  # overlapping roots: scan each file once
+            seen_paths.add(path)
             module = load_module(path, scan_base)
             if module is None:
                 result.parse_errors.append(str(path))
                 continue
             result.files_scanned += 1
+            result.paths[module.relpath] = str(module.path)
             _, line_codes = _parse_suppressions(module.lines)
-            for finding in _dispatch(rules, module):
+            loaded.append((module, line_codes))
+            for finding in _dispatch(per_module_rules, module):
                 if not _suppressed(finding, module, line_codes):
                     result.findings.append(finding)
+    if project_rules and loaded:
+        modules = [module for module, _ in loaded]
+        by_relpath = {module.relpath: (module, codes) for module, codes in loaded}
+        shared: dict = {}
+        for rule in project_rules:
+            for finding in rule.check_modules(modules, shared):
+                entry = by_relpath.get(finding.path)
+                if entry is not None and _suppressed(finding, entry[0], entry[1]):
+                    continue
+                result.findings.append(finding)
     result.findings.sort()
     return result

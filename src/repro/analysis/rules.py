@@ -15,6 +15,11 @@ RPR004    no mutable default arguments
 RPR005    exported functions carry full type annotations
 RPR006    numpy constructions in ``relation/`` pin ``dtype=``
 ========  =====================================================
+
+The whole-program rules (RPR101 import layering, RPR102 purity
+contracts, RPR103 dead public exports) live in
+:mod:`repro.analysis.project_rules` and are registered here so
+``default_rules()`` stays the single catalogue.
 """
 
 from __future__ import annotations
@@ -541,6 +546,8 @@ def _defines_function(path: Path, name: str) -> bool:
 
 def default_rules() -> list[Rule]:
     """One fresh instance of every shipped rule, in code order."""
+    from .project_rules import default_project_rules
+
     return [
         DeterminismRule(),
         BitmaskEncapsulationRule(),
@@ -548,4 +555,5 @@ def default_rules() -> list[Rule]:
         MutableDefaultRule(),
         PublicApiAnnotationRule(),
         NumpyDtypeRule(),
+        *default_project_rules(),
     ]

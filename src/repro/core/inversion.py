@@ -44,7 +44,12 @@ class Inverter:
         self._universe = attrset.universe(num_attributes)
 
     def process(self, non_fds: Iterable[FD]) -> InversionStats:
-        """Invert a batch of non-FDs into the positive cover (Alg. 3, 11-20)."""
+        """Invert a batch of non-FDs into the positive cover (Alg. 3, 11-20).
+
+        Mutates: self
+            (specializes ``self.pcover`` in place; the batch itself is
+            only read)
+        """
         stats = InversionStats()
         for non_fd in sort_for_cover_insertion(non_fds):
             self._invert_one(non_fd, stats)
@@ -52,6 +57,10 @@ class Inverter:
         return stats
 
     def _invert_one(self, non_fd: FD, stats: InversionStats) -> None:
+        """Replace every candidate invalidated by one non-FD (Alg. 3 body).
+
+        Mutates: self, stats
+        """
         pcover = self.pcover
         rhs = non_fd.rhs
         rhs_bit = attrset.singleton(rhs)

@@ -64,12 +64,19 @@ class ClusterState:
         return not self.exhausted and not self.retired
 
     def record(self, capa: float) -> None:
+        """Feed one sample's capa into the retirement history.
+
+        Mutates: self
+        """
         self.history.append(capa)
         self.last_capa = capa
         self.samples += 1
 
     def revive(self) -> None:
-        """Forget the zero streak so the cluster may be scheduled again."""
+        """Forget the zero streak so the cluster may be scheduled again.
+
+        Mutates: self
+        """
         self.history.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -139,6 +146,8 @@ class SamplingModule:
 
         Returns how many clusters became eligible again.  Window sizes are
         kept, so revived clusters continue with never-seen tuple pairs.
+
+        Mutates: self
         """
         revived = 0
         for cluster in self._clusters:
@@ -170,6 +179,8 @@ class SamplingModule:
 
         ``max_samples`` optionally bounds the drain for callers that need
         finer-grained control (tests, interactive use).
+
+        Mutates: self
         """
         stats = RoundStats()
         violations: list[Violation] = []
@@ -194,7 +205,10 @@ class SamplingModule:
     def _sample(
         self, cluster: ClusterState, out: list[Violation], stats: RoundStats
     ) -> float:
-        """One sample of one cluster: compare all pairs at the current window."""
+        """One sample of one cluster: compare all pairs at the current window.
+
+        Mutates: self, cluster, out, stats
+        """
         rows = cluster.rows
         window = cluster.window
         num_positions = len(rows) - window + 1

@@ -99,6 +99,10 @@ class BinaryLhsTree:
     # -- mutation ----------------------------------------------------------
 
     def add(self, lhs: int) -> bool:
+        """Insert ``lhs``; return False when it was already present.
+
+        Mutates: self
+        """
         if self._root is None:
             self._root = _Node.leaf(lhs)
             self._size = 1
@@ -133,6 +137,10 @@ class BinaryLhsTree:
         return True
 
     def remove(self, lhs: int) -> bool:
+        """Remove ``lhs``; return False when it was not present.
+
+        Mutates: self
+        """
         if self._root is None:
             return False
         if self._root.is_leaf:
@@ -205,6 +213,10 @@ class BinaryLhsTree:
     # recursion, and test bits inline instead of via attrset helpers.
 
     def contains_superset(self, lhs: int) -> bool:
+        """Specialization check (read-only).
+
+        Pure: a pruned traversal; no node is modified.
+        """
         node = self._root
         if node is None:
             return False
@@ -226,6 +238,10 @@ class BinaryLhsTree:
         return False
 
     def contains_subset(self, lhs: int) -> bool:
+        """Generalization check (read-only).
+
+        Pure: a pruned traversal; no node is modified.
+        """
         node = self._root
         if node is None:
             return False
@@ -251,6 +267,8 @@ class BinaryLhsTree:
         fresh candidate ``g ∪ {b}`` must contain ``b``; requiring the
         attribute lets the search skip every subtree whose union lacks it
         (in particular the whole left subtree of the node testing ``b``).
+
+        Pure: a pruned traversal; no node is modified.
         """
         node = self._root
         if node is None:
@@ -271,6 +289,10 @@ class BinaryLhsTree:
         return False
 
     def find_supersets(self, lhs: int) -> list[int]:
+        """All stored supersets of ``lhs``, sorted.
+
+        Pure: builds a fresh list; the tree is only read.
+        """
         found: list[int] = []
         node = self._root
         if node is None:
@@ -292,6 +314,10 @@ class BinaryLhsTree:
         return found
 
     def find_subsets(self, lhs: int) -> list[int]:
+        """All stored subsets of ``lhs``, sorted.
+
+        Pure: builds a fresh list; the tree is only read.
+        """
         found: list[int] = []
         node = self._root
         if node is None:

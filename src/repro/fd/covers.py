@@ -65,6 +65,12 @@ class NegativeCover:
         Trivial "non-FDs" (RHS contained in LHS) cannot occur — a tuple
         pair agreeing on the LHS agrees on every LHS attribute — and are
         rejected loudly to catch caller bugs.
+
+        Mutates: self
+        Monotone: self via covers
+            (the covered set of non-FDs only grows: evicted
+            generalizations stay covered by their evictor — the
+            append-only promise inversion relies on between cycles)
         """
         if non_fd.is_trivial():
             raise ValueError(f"trivial non-FD cannot be violated: {non_fd}")
@@ -79,15 +85,25 @@ class NegativeCover:
         return True
 
     def add_all(self, non_fds: Iterable[FD]) -> int:
-        """Insert many non-FDs; return the number that grew the cover."""
+        """Insert many non-FDs; return the number that grew the cover.
+
+        Mutates: self
+        Monotone: self via covers
+        """
         return sum(1 for non_fd in non_fds if self.add(non_fd))
 
     def covers(self, fd: FD) -> bool:
-        """True when ``fd`` is known-invalid (generalizes a stored non-FD)."""
+        """True when ``fd`` is known-invalid (generalizes a stored non-FD).
+
+        Pure: a read-only superset query.
+        """
         return self._trees[fd.rhs].contains_superset(fd.lhs)
 
     def lhs_masks(self, rhs: int) -> list[int]:
-        """The stored maximal invalid LHS masks for attribute ``rhs``."""
+        """The stored maximal invalid LHS masks for attribute ``rhs``.
+
+        Pure: snapshots the index without touching it.
+        """
         return list(self._trees[rhs])
 
     def index_for(self, rhs: int) -> LhsIndex:
@@ -140,7 +156,14 @@ class PositiveCover:
             self._size = num_attributes
 
     def add(self, fd: FD) -> bool:
-        """Insert an FD candidate unless a stored generalization exists."""
+        """Insert an FD candidate unless a stored generalization exists.
+
+        Mutates: self
+        Monotone: self via has_generalization
+            (minimality only improves: every FD the cover implied
+            before — itself or via a generalization — is still implied
+            after insertion)
+        """
         if fd.is_trivial():
             raise ValueError(f"refusing to store trivial FD: {fd}")
         tree = self._trees[fd.rhs]
@@ -160,6 +183,8 @@ class PositiveCover:
         an antichain and the caller just checked ``has_generalization``,
         the superset-eviction scan of :meth:`add` is provably a no-op and
         is skipped.
+
+        Mutates: self
         """
         if self._trees[fd.rhs].add(fd.lhs):
             self._size += 1
@@ -167,16 +192,27 @@ class PositiveCover:
         return False
 
     def remove(self, fd: FD) -> bool:
+        """Drop a candidate invalidated by inversion.
+
+        Mutates: self
+        """
         if self._trees[fd.rhs].remove(fd.lhs):
             self._size -= 1
             return True
         return False
 
     def find_generalizations(self, non_fd: FD) -> list[int]:
-        """All stored LHSs for ``non_fd.rhs`` that are subsets of its LHS."""
+        """All stored LHSs for ``non_fd.rhs`` that are subsets of its LHS.
+
+        Pure: a read-only subset query.
+        """
         return self._trees[non_fd.rhs].find_subsets(non_fd.lhs)
 
     def has_generalization(self, fd: FD) -> bool:
+        """True when a stored LHS is a subset of ``fd``'s LHS.
+
+        Pure: a read-only subset query.
+        """
         return self._trees[fd.rhs].contains_subset(fd.lhs)
 
     def index_for(self, rhs: int) -> LhsIndex:

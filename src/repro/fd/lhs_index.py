@@ -75,6 +75,10 @@ class BitsetLhsIndex:
                 self.add(mask)
 
     def add(self, lhs: int) -> bool:
+        """Insert ``lhs``; return False when it was already present.
+
+        Mutates: self
+        """
         bucket = self._buckets.setdefault(attrset.size(lhs), set())
         if lhs in bucket:
             return False
@@ -83,6 +87,10 @@ class BitsetLhsIndex:
         return True
 
     def remove(self, lhs: int) -> bool:
+        """Remove ``lhs``; return False when it was not present.
+
+        Mutates: self
+        """
         card = attrset.size(lhs)
         bucket = self._buckets.get(card)
         if bucket is None or lhs not in bucket:
@@ -105,6 +113,10 @@ class BitsetLhsIndex:
         yield from sorted(masks)
 
     def contains_superset(self, lhs: int) -> bool:
+        """Specialization check (read-only).
+
+        Pure: scans the buckets without touching them.
+        """
         want = attrset.size(lhs)
         for card, bucket in self._buckets.items():
             if card < want:
@@ -115,6 +127,10 @@ class BitsetLhsIndex:
         return False
 
     def contains_subset(self, lhs: int) -> bool:
+        """Generalization check (read-only).
+
+        Pure: scans the buckets without touching them.
+        """
         want = attrset.size(lhs)
         for card, bucket in self._buckets.items():
             if card > want:
@@ -125,7 +141,10 @@ class BitsetLhsIndex:
         return False
 
     def contains_subset_containing(self, lhs: int, attr: int) -> bool:
-        """Subset query restricted to masks containing attribute ``attr``."""
+        """Subset query restricted to masks containing attribute ``attr``.
+
+        Pure: scans the buckets without touching them.
+        """
         want = attrset.size(lhs)
         for card, bucket in self._buckets.items():
             if card > want:
@@ -136,6 +155,10 @@ class BitsetLhsIndex:
         return False
 
     def find_supersets(self, lhs: int) -> list[int]:
+        """All stored supersets of ``lhs``, sorted.
+
+        Pure: builds a fresh list; the index is only read.
+        """
         want = attrset.size(lhs)
         found = [
             mask
@@ -148,6 +171,10 @@ class BitsetLhsIndex:
         return found
 
     def find_subsets(self, lhs: int) -> list[int]:
+        """All stored subsets of ``lhs``, sorted.
+
+        Pure: builds a fresh list; the index is only read.
+        """
         want = attrset.size(lhs)
         found = [
             mask

@@ -80,6 +80,8 @@ class StrippedPartition:
         Linear in the grouped rows of both operands: index the rows of
         ``self`` by cluster id, then split every cluster of ``other`` by
         that id, keeping only groups of size >= 2.
+
+        Pure: builds a fresh partition; neither operand is mutated.
         """
         if self.num_rows != other.num_rows:
             raise ValueError("partitions over different relations")
@@ -102,6 +104,8 @@ class StrippedPartition:
 
         π_X refines π_A exactly when the FD ``X -> A`` holds; used by the
         test suite as an independent validity oracle.
+
+        Pure: a read-only comparison of both partitions.
         """
         owner: dict[int, int] = {}
         for cluster_id, cluster in enumerate(other.clusters):

@@ -1,0 +1,5 @@
+"""Fixture: RPR101 — one half of a two-module import cycle."""
+
+from . import rpr101_cycle_b as _peer
+
+_CYCLE_PEER = _peer

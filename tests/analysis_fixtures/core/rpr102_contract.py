@@ -1,0 +1,10 @@
+"""Fixture: RPR102 — a declared-Pure kernel that mutates a parameter."""
+
+
+def leaky_insert(items: list[int], value: int) -> list[int]:
+    """Append ``value`` while claiming to touch nothing.
+
+    Pure: (falsely) promises both parameters untouched.
+    """
+    items.append(value)
+    return items

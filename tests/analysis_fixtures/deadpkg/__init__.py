@@ -1,0 +1,5 @@
+"""Fixture package: RPR103 — ``__all__`` exporting a never-referenced name."""
+
+from .helper import dead_export, used_export
+
+__all__ = ["dead_export", "used_export"]

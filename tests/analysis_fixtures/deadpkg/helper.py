@@ -1,0 +1,12 @@
+"""Fixture helpers for the dead-export rule (RPR103)."""
+
+
+def dead_export() -> int:
+    return 1
+
+
+def used_export() -> int:
+    return 2
+
+
+_REFERENCED_ELSEWHERE = used_export

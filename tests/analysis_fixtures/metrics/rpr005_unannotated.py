@@ -3,3 +3,8 @@
 
 def exported_helper(value):
     return value
+
+
+# Keeps the package's export referenced so the dead-export rule (RPR103)
+# stays scoped to the deadpkg fixture.
+_REFERENCED_EXPORT = exported_helper

@@ -1,0 +1,5 @@
+"""Fixture: RPR101 — an upward (metrics -> core) layer violation."""
+
+from ..core import rpr001_unseeded as _core_helper
+
+_UPWARD_DEPENDENCY = _core_helper

@@ -35,6 +35,11 @@ EXPECTED_FIXTURE_RULES = {
     "metrics/rpr004_mutable_default.py": "RPR004",
     "metrics/rpr005_unannotated.py": "RPR005",
     "relation/rpr006_dtype.py": "RPR006",
+    "metrics/rpr101_layering.py": "RPR101",
+    "core/rpr101_cycle_a.py": "RPR101",
+    "core/rpr101_cycle_b.py": "RPR101",
+    "core/rpr102_contract.py": "RPR102",
+    "deadpkg/__init__.py": "RPR103",
 }
 
 
@@ -129,6 +134,146 @@ class TestSuppressions:
         assert [finding.rule for finding in findings] == ["RPR001"]
 
 
+class TestProjectRules:
+    """The whole-program passes on synthetic miniature trees."""
+
+    def _write(self, tmp_path: Path, relpath: str, source: str) -> None:
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+
+    def test_upward_import_is_a_layer_violation(self, tmp_path):
+        self._write(tmp_path, "fd/low.py", "VALUE = 1\n")
+        self._write(tmp_path, "fd/bad.py", "from ..core import driver as _d\n")
+        self._write(tmp_path, "core/driver.py", "from ..fd import low as _low\n")
+        findings = analyze([tmp_path], default_rules(), select=["RPR101"]).findings
+        assert [finding.path for finding in findings] == ["fd/bad.py"]
+        assert "layer violation" in findings[0].message
+
+    def test_cycle_reported_on_every_member(self, tmp_path):
+        self._write(tmp_path, "core/a.py", "from . import b as _b\n")
+        self._write(tmp_path, "core/b.py", "from . import c as _c\n")
+        self._write(tmp_path, "core/c.py", "from . import a as _a\n")
+        findings = analyze([tmp_path], default_rules(), select=["RPR101"]).findings
+        assert sorted(finding.path for finding in findings) == [
+            "core/a.py",
+            "core/b.py",
+            "core/c.py",
+        ]
+        assert all("import cycle" in finding.message for finding in findings)
+
+    def test_analysis_package_is_isolated(self, tmp_path):
+        self._write(tmp_path, "analysis/engine.py", "VALUE = 1\n")
+        self._write(tmp_path, "core/uses.py", "from ..analysis import engine\n")
+        findings = analyze([tmp_path], default_rules(), select=["RPR101"]).findings
+        assert [finding.path for finding in findings] == ["core/uses.py"]
+        assert "isolated" in findings[0].message
+
+    def test_purity_inference_follows_call_graph(self, tmp_path):
+        """A Pure: contract is checked through a same-module helper call."""
+        self._write(
+            tmp_path,
+            "core/kernels.py",
+            """\
+            def _helper(store: list) -> None:
+                store.append(1)
+
+
+            def outer(store: list) -> None:
+                '''Pure: (falsely).'''
+                _helper(store)
+            """,
+        )
+        findings = analyze([tmp_path], default_rules(), select=["RPR102"]).findings
+        assert len(findings) == 1
+        assert "outer" in findings[0].message
+        assert "'store'" in findings[0].message
+
+    def test_contract_grammar_errors_are_reported(self, tmp_path):
+        self._write(
+            tmp_path,
+            "core/kernels.py",
+            """\
+            def broken(values: list) -> None:
+                '''Contradictory contract.
+
+                Pure:
+                Mutates: values
+                '''
+            """,
+        )
+        findings = analyze([tmp_path], default_rules(), select=["RPR102"]).findings
+        assert len(findings) == 1
+        assert "mutually exclusive" in findings[0].message
+
+    def test_contract_naming_unknown_parameter(self, tmp_path):
+        self._write(
+            tmp_path,
+            "core/kernels.py",
+            """\
+            def renamed(values: list) -> None:
+                '''Mutates: old_name'''
+                values.append(1)
+            """,
+        )
+        findings = analyze([tmp_path], default_rules(), select=["RPR102"]).findings
+        assert len(findings) == 1
+        assert "not a parameter" in findings[0].message
+
+    def test_inline_suppression_covers_purity_rule(self, tmp_path):
+        self._write(
+            tmp_path,
+            "core/kernels.py",
+            """\
+            def leaky(values: list) -> None:  # repro-lint: disable=RPR102
+                '''Pure: (falsely).'''
+                values.append(1)
+            """,
+        )
+        assert analyze([tmp_path], default_rules()).findings == []
+
+    def test_file_suppression_covers_cycle_rule(self, tmp_path):
+        self._write(
+            tmp_path,
+            "core/a.py",
+            "# repro-lint: disable-file=RPR101\nfrom . import b as _b\n",
+        )
+        self._write(tmp_path, "core/b.py", "from . import a as _a\n")
+        findings = analyze([tmp_path], default_rules(), select=["RPR101"]).findings
+        assert [finding.path for finding in findings] == ["core/b.py"]
+
+    def test_dead_export_flagged_and_referenced_export_not(self, tmp_path):
+        """RPR103 on a rootless tree falls back to the scanned modules."""
+        self._write(
+            tmp_path,
+            "pkg/__init__.py",
+            """\
+            from .impl import alive, dead
+
+            __all__ = ["alive", "dead"]
+            """,
+        )
+        self._write(
+            tmp_path,
+            "pkg/impl.py",
+            """\
+            def alive() -> int:
+                return 1
+
+
+            def dead() -> int:
+                return 2
+
+
+            _USED = alive
+            """,
+        )
+        findings = analyze([tmp_path], default_rules(), select=["RPR103"]).findings
+        assert len(findings) == 1
+        assert "'dead'" in findings[0].message
+        assert findings[0].path == "pkg/__init__.py"
+
+
 class TestBaseline:
     def test_partition_absorbs_counted_findings(self, tmp_path):
         module = tmp_path / "core" / "legacy.py"
@@ -156,6 +301,43 @@ class TestBaseline:
 
     def test_load_missing_baseline_is_empty(self, tmp_path):
         assert baseline_io.load(tmp_path / "absent.json") == Counter()
+
+    def test_partition_absorbs_earliest_line_first(self, tmp_path):
+        """With one baselined slot, the earliest duplicate is absorbed."""
+        module = tmp_path / "core" / "legacy.py"
+        module.parent.mkdir()
+        module.write_text("def one(index: int) -> int:\n    return 1 << index\n")
+        baseline_path = tmp_path / "baseline.json"
+        baseline_io.save(baseline_path, analyze([tmp_path], default_rules()).findings)
+
+        module.write_text(
+            "def zero(index: int) -> int:\n    return 1 << index\n\n"
+            "def one(index: int) -> int:\n    return 1 << index\n"
+        )
+        findings = analyze([tmp_path], default_rules()).findings
+        new, grandfathered = baseline_io.partition(
+            findings, baseline_io.load(baseline_path)
+        )
+        assert [finding.line for finding in grandfathered] == [2]
+        assert [finding.line for finding in new] == [5]
+
+    def test_load_rejects_future_version(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "findings": {}}))
+        with pytest.raises(ValueError, match="version 99"):
+            baseline_io.load(path)
+
+    def test_load_rejects_versionless_document(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"findings": {}}))
+        with pytest.raises(ValueError, match="version"):
+            baseline_io.load(path)
+
+    def test_load_rejects_corrupt_document(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(["not", "a", "baseline"]))
+        with pytest.raises(ValueError, match="not a repro-lint baseline"):
+            baseline_io.load(path)
 
 
 class TestCli:
@@ -198,6 +380,44 @@ class TestCli:
     def test_unknown_rule_code_is_a_usage_error(self):
         with pytest.raises(SystemExit) as excinfo:
             main([str(FIXTURES), "--select", "RPR999"])
+        assert excinfo.value.code == 2
+
+    def test_github_format_emits_workflow_annotations(self, tmp_path, capsys, monkeypatch):
+        module = tmp_path / "core" / "unseeded.py"
+        module.parent.mkdir()
+        module.write_text(
+            "import random\n\n\ndef draw() -> float:\n    return random.random()\n"
+        )
+        monkeypatch.chdir(tmp_path)
+        status = main([str(tmp_path), "--format", "github"])
+        out = capsys.readouterr().out
+        assert status == 1
+        assert "::error file=core/unseeded.py,line=" in out
+        assert "title=RPR001::" in out
+        assert "1 finding" in out
+
+    def test_github_format_escapes_newlines_and_percent(self):
+        from repro.analysis.cli import _annotation_escape
+
+        assert _annotation_escape("a%b\nc\rd") == "a%25b%0Ac%0Dd"
+
+    def test_corrupt_baseline_is_a_usage_error(self, tmp_path):
+        baseline = tmp_path / ".repro-lint-baseline.json"
+        baseline.write_text(json.dumps({"version": 99, "findings": {}}))
+        with pytest.raises(SystemExit) as excinfo:
+            main([str(tmp_path), "--baseline", str(baseline)])
+        assert excinfo.value.code == 2
+
+    def test_sanitize_requires_exactly_one_root(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    str(FIXTURES),
+                    str(SRC_REPRO),
+                    "--sanitize",
+                    str(tmp_path / "out"),
+                ]
+            )
         assert excinfo.value.code == 2
 
     def test_module_entry_point(self):

@@ -6,6 +6,7 @@ import pytest
 
 from repro.algorithms import Fdep
 from repro.datasets import (
+    PATIENT_COLUMNS,
     ColumnSpec,
     DatasetSpec,
     dataset_names,
@@ -206,3 +207,6 @@ class TestPatients:
 
     def test_first_row_is_kelly(self):
         assert patients().row(0) == ("Kelly", 60, "High", "Female", "drugA")
+
+    def test_exported_column_names_match_relation(self):
+        assert patients().column_names == tuple(PATIENT_COLUMNS)
