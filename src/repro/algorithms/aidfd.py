@@ -17,6 +17,7 @@ from __future__ import annotations
 from ..core.inversion import Inverter
 from ..core.result import DiscoveryResult, Stopwatch, make_result
 from ..fd import FD, NegativeCover, attrset
+from ..obs import counter, point, span
 from ..relation.preprocess import preprocess
 from ..relation.relation import Relation
 from .base import register
@@ -68,28 +69,31 @@ class AidFd:
             swept_pairs = 0
             size_before = max(len(ncover), 1)
             added = 0
-            for rows in clusters:
-                if len(rows) <= distance:
-                    continue
-                swept_pairs += len(rows) - distance
-                masks = data.agree_masks_bulk(
-                    list(rows[:-distance]), list(rows[distance:])
-                )
-                for agree in masks:
-                    novel = (universe & ~agree) & ~seen.get(agree, 0)
-                    if not novel:
+            with span("sampling", sweep=sweeps + 1):
+                for rows in clusters:
+                    if len(rows) <= distance:
                         continue
-                    seen[agree] = seen.get(agree, 0) | novel
-                    remaining = novel
-                    while remaining:
-                        bit = remaining & -remaining
-                        remaining ^= bit
-                        non_fd = FD(agree, bit.bit_length() - 1)
-                        if ncover.add(non_fd):
-                            pending.append(non_fd)
-                            added += 1
+                    swept_pairs += len(rows) - distance
+                    masks = data.agree_masks_bulk(
+                        list(rows[:-distance]), list(rows[distance:])
+                    )
+                    for agree in masks:
+                        novel = (universe & ~agree) & ~seen.get(agree, 0)
+                        if not novel:
+                            continue
+                        seen[agree] = seen.get(agree, 0) | novel
+                        remaining = novel
+                        while remaining:
+                            bit = remaining & -remaining
+                            remaining ^= bit
+                            non_fd = FD(agree, bit.bit_length() - 1)
+                            if ncover.add(non_fd):
+                                pending.append(non_fd)
+                                added += 1
+                counter("aidfd.pairs_compared", swept_pairs)
             sweeps += 1
             pairs_compared += swept_pairs
+            point("gr_ncover", float(sweeps), added / size_before)
             if swept_pairs == 0:
                 break  # every cluster exhausted: the cover is exact
             if added / size_before <= self.threshold:
@@ -97,7 +101,8 @@ class AidFd:
             distance += 1
 
         inverter = Inverter(num_attributes)
-        inversion = inverter.process(pending)
+        with span("inversion"):
+            inversion = inverter.process(pending)
         return make_result(
             inverter.pcover,
             self.name,

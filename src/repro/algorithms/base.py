@@ -9,10 +9,12 @@ minimal FDs, so benchmarks and metrics treat them uniformly.
 
 from __future__ import annotations
 
+import functools
 from collections.abc import Callable
 from typing import Protocol, runtime_checkable
 
 from ..core.result import DiscoveryResult
+from ..obs import current_recorder, span
 from ..relation.relation import Relation
 
 
@@ -41,11 +43,46 @@ class FDAlgorithm(Protocol):
 _REGISTRY: dict[str, Callable[[], FDAlgorithm]] = {}
 
 
+def instrument_discover(cls: type) -> type:
+    """The shared observability hook: trace every ``discover`` call.
+
+    Wraps the class's ``discover`` so that, when a recorder is installed
+    (:func:`repro.obs.recording`), the whole run is enclosed in a
+    ``discover`` span carrying the algorithm and relation names — every
+    registered algorithm gets a uniform trace root without touching its
+    body.  With tracing disabled the wrapper is one thread-local read
+    and a tail call, preserving the zero-overhead promise.  Idempotent:
+    re-registering a class does not stack wrappers.
+    """
+    original = cls.discover
+    if getattr(original, "__repro_traced__", False):
+        return cls
+
+    @functools.wraps(original)
+    def discover(self: FDAlgorithm, relation: Relation) -> DiscoveryResult:
+        if current_recorder() is None:
+            return original(self, relation)
+        with span(
+            "discover",
+            algorithm=getattr(self, "name", cls.__name__),
+            relation=relation.name,
+        ):
+            return original(self, relation)
+
+    discover.__repro_traced__ = True  # type: ignore[attr-defined]
+    cls.discover = discover
+    return cls
+
+
 def register(key: str) -> Callable[[type], type]:
-    """Class decorator registering a zero-argument-constructible algorithm."""
+    """Class decorator registering a zero-argument-constructible algorithm.
+
+    Registration routes through :func:`instrument_discover`, so being in
+    the registry implies being traceable.
+    """
 
     def decorate(cls: type) -> type:
-        _REGISTRY[key] = cls
+        _REGISTRY[key] = instrument_discover(cls)
         return cls
 
     return decorate

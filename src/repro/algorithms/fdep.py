@@ -19,6 +19,7 @@ import numpy as np
 from ..core.inversion import Inverter
 from ..core.result import DiscoveryResult, Stopwatch, make_result
 from ..fd import FD, NegativeCover, attrset
+from ..obs import span
 from ..relation.preprocess import PreprocessedRelation, preprocess
 from ..relation.relation import Relation
 from .base import register
@@ -36,22 +37,26 @@ class Fdep:
 
     def discover(self, relation: Relation) -> DiscoveryResult:
         watch = Stopwatch()
-        data = preprocess(relation, self.null_equals_null)
+        with span("preprocess", relation=relation.name):
+            data = preprocess(relation, self.null_equals_null)
         num_attributes = data.num_columns
-        agree_masks = compute_agree_masks(data)
+        with span("agree_sets"):
+            agree_masks = compute_agree_masks(data)
         ncover = NegativeCover(num_attributes)
         pending: list[FD] = []
         universe = attrset.universe(num_attributes)
-        for agree in agree_masks:
-            remaining = universe & ~agree
-            while remaining:
-                bit = remaining & -remaining
-                remaining ^= bit
-                non_fd = FD(agree, bit.bit_length() - 1)
-                if ncover.add(non_fd):
-                    pending.append(non_fd)
+        with span("ncover"):
+            for agree in agree_masks:
+                remaining = universe & ~agree
+                while remaining:
+                    bit = remaining & -remaining
+                    remaining ^= bit
+                    non_fd = FD(agree, bit.bit_length() - 1)
+                    if ncover.add(non_fd):
+                        pending.append(non_fd)
         inverter = Inverter(num_attributes)
-        inversion = inverter.process(pending)
+        with span("inversion"):
+            inversion = inverter.process(pending)
         pairs = relation.num_rows * (relation.num_rows - 1) // 2
         return make_result(
             inverter.pcover,

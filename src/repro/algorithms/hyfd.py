@@ -25,6 +25,7 @@ from __future__ import annotations
 from ..core.inversion import Inverter
 from ..core.result import DiscoveryResult, Stopwatch, make_result
 from ..fd import FD, NegativeCover, attrset
+from ..obs import counter, span
 from ..relation.preprocess import PreprocessedRelation, preprocess
 from ..relation.relation import Relation
 from ..relation.validate import find_violation
@@ -77,31 +78,41 @@ class HyFD:
         for _ in range(self.max_iterations):
             # ---- phase 1: sampling while efficient -----------------------
             sampling_phases += 1
-            while True:
-                swept, novel = self._sweep(data, clusters, distance, ncover,
-                                           pending, seen, universe)
-                pairs_compared += swept
-                distance += 1
-                if swept == 0:
-                    break
-                if novel / swept < self.efficiency_threshold:
-                    break
-            inverter.process(pending)
+            phase_pairs = 0
+            with span("sampling", phase=sampling_phases):
+                while True:
+                    swept, novel = self._sweep(data, clusters, distance, ncover,
+                                               pending, seen, universe)
+                    pairs_compared += swept
+                    phase_pairs += swept
+                    distance += 1
+                    if swept == 0:
+                        break
+                    if novel / swept < self.efficiency_threshold:
+                        break
+                counter("hyfd.pairs_compared", phase_pairs)
+            with span("inversion", phase=sampling_phases):
+                inverter.process(pending)
             pending.clear()
             # ---- phase 2: full validation --------------------------------
             validation_phases += 1
             violated = 0
-            for fd in list(inverter.pcover):
-                validations += 1
-                violation = find_violation(data, fd)
-                if violation is None:
-                    continue
-                violated += 1
-                row_a, row_b = violation
-                agree = data.agree_mask(row_a, row_b)
-                novel_mask = (universe & ~agree) & ~seen.get(agree, 0)
-                if novel_mask:
-                    self._admit(agree, novel_mask, ncover, pending, seen)
+            phase_validations = 0
+            with span("validation", phase=validation_phases):
+                for fd in list(inverter.pcover):
+                    validations += 1
+                    phase_validations += 1
+                    violation = find_violation(data, fd)
+                    if violation is None:
+                        continue
+                    violated += 1
+                    row_a, row_b = violation
+                    agree = data.agree_mask(row_a, row_b)
+                    novel_mask = (universe & ~agree) & ~seen.get(agree, 0)
+                    if novel_mask:
+                        self._admit(agree, novel_mask, ncover, pending, seen)
+                counter("hyfd.validations", phase_validations)
+                counter("hyfd.violated_candidates", violated)
             if violated == 0 and not pending:
                 break
             inverter.process(pending)

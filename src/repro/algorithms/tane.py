@@ -22,6 +22,7 @@ from itertools import combinations
 
 from ..core.result import DiscoveryResult, Stopwatch, make_result
 from ..fd import FD, attrset
+from ..obs import counter, span
 from ..relation.partition import StrippedPartition
 from ..relation.preprocess import preprocess
 from ..relation.relation import Relation
@@ -85,56 +86,62 @@ class Tane:
                     f"lattice level {level_number} holds {len(level)} nodes, "
                     f"exceeding max_level_width={self.max_level_width}"
                 )
-            # -- COMPUTE_DEPENDENCIES -----------------------------------
-            level_cplus: dict[int, int] = {}
-            for lhs in level:
-                candidates = universe
-                for subset in attrset.subsets_one_smaller(lhs):
-                    candidates &= cplus.get(subset, 0)
-                level_cplus[lhs] = candidates
-            for lhs in level:
-                candidates = level_cplus[lhs] & lhs
-                remaining = candidates
-                while remaining:
-                    bit = remaining & -remaining
-                    remaining ^= bit
-                    rhs = bit.bit_length() - 1
-                    generalization = lhs ^ bit
-                    validations += 1
-                    if (
-                        partitions[generalization].num_classes_full
-                        == partitions[lhs].num_classes_full
-                    ):
-                        fds.append(FD(generalization, rhs))
-                        level_cplus[lhs] &= ~bit
-                        level_cplus[lhs] &= lhs  # drop all of R \ X
-            # -- PRUNE ------------------------------------------------------
-            pruned: list[int] = []
-            for lhs in level:
-                if level_cplus[lhs] == 0:
-                    continue
-                if partitions[lhs].is_superkey():
-                    # A superkey determines every attribute; emit the
-                    # minimal dependencies and drop the node (supersets of
-                    # a superkey can never carry a minimal FD).
-                    remaining = level_cplus[lhs] & ~lhs
+            with span("level", level=level_number, width=len(level)):
+                level_validations = 0
+                # -- COMPUTE_DEPENDENCIES -------------------------------
+                level_cplus: dict[int, int] = {}
+                for lhs in level:
+                    candidates = universe
+                    for subset in attrset.subsets_one_smaller(lhs):
+                        candidates &= cplus.get(subset, 0)
+                    level_cplus[lhs] = candidates
+                for lhs in level:
+                    candidates = level_cplus[lhs] & lhs
+                    remaining = candidates
                     while remaining:
                         bit = remaining & -remaining
                         remaining ^= bit
                         rhs = bit.bit_length() - 1
-                        validations += 1
-                        if self._key_fd_is_minimal(lhs, rhs, partitions):
-                            fds.append(FD(lhs, rhs))
-                    continue
-                pruned.append(lhs)
-            # -- GENERATE_NEXT_LEVEL ---------------------------------------
-            next_level, next_partitions = self._next_level(
-                pruned, partitions, self.max_level_width
-            )
-            cplus = level_cplus
-            partitions = self._retain_partitions(partitions, next_partitions, pruned)
-            level = next_level
-            level_number += 1
+                        generalization = lhs ^ bit
+                        level_validations += 1
+                        if (
+                            partitions[generalization].num_classes_full
+                            == partitions[lhs].num_classes_full
+                        ):
+                            fds.append(FD(generalization, rhs))
+                            level_cplus[lhs] &= ~bit
+                            level_cplus[lhs] &= lhs  # drop all of R \ X
+                # -- PRUNE ----------------------------------------------
+                pruned: list[int] = []
+                for lhs in level:
+                    if level_cplus[lhs] == 0:
+                        continue
+                    if partitions[lhs].is_superkey():
+                        # A superkey determines every attribute; emit the
+                        # minimal dependencies and drop the node (supersets
+                        # of a superkey can never carry a minimal FD).
+                        remaining = level_cplus[lhs] & ~lhs
+                        while remaining:
+                            bit = remaining & -remaining
+                            remaining ^= bit
+                            rhs = bit.bit_length() - 1
+                            level_validations += 1
+                            if self._key_fd_is_minimal(lhs, rhs, partitions):
+                                fds.append(FD(lhs, rhs))
+                        continue
+                    pruned.append(lhs)
+                # -- GENERATE_NEXT_LEVEL --------------------------------
+                next_level, next_partitions = self._next_level(
+                    pruned, partitions, self.max_level_width
+                )
+                cplus = level_cplus
+                partitions = self._retain_partitions(
+                    partitions, next_partitions, pruned
+                )
+                level = next_level
+                level_number += 1
+                validations += level_validations
+                counter("tane.validations", level_validations)
 
         return make_result(
             fds,

@@ -27,20 +27,23 @@ from .project import Project
 from .purity import analyze_project_mutations
 
 #: package layers, bottom-up; a module may import its own layer or lower.
-#: ``fd``/``relation`` are one layer (mutually acyclic at module level:
-#: ``fd/armstrong`` builds relations, ``relation/validate`` speaks FDs).
+#: ``obs`` sits at the very bottom so every layer may emit telemetry
+#: without creating upward edges.  ``fd``/``relation`` are one layer
+#: (mutually acyclic at module level: ``fd/armstrong`` builds relations,
+#: ``relation/validate`` speaks FDs).
 PACKAGE_LAYERS: dict[str, int] = {
-    "fd": 0,
-    "relation": 0,
-    "metrics": 1,
-    "datasets": 1,
-    "core": 2,
-    "algorithms": 2,
-    "bench": 3,
+    "obs": 0,
+    "fd": 1,
+    "relation": 1,
+    "metrics": 2,
+    "datasets": 2,
+    "core": 3,
+    "algorithms": 3,
+    "bench": 4,
 }
 
 #: modules at the package root (cli.py, profile.py, __main__, __init__)
-ROOT_LAYER = 3
+ROOT_LAYER = 4
 
 #: the self-contained analysis package: imports nothing from the rest of
 #: the package and nothing outside it may import it.
@@ -87,7 +90,7 @@ class LayeringRule(ProjectRule):
     name = "import-layering"
     rationale = (
         "imports must respect the package layering "
-        "(fd/relation < metrics/datasets < core/algorithms < bench/cli) "
+        "(obs < fd/relation < metrics/datasets < core/algorithms < bench/cli) "
         "and the module graph must stay acyclic"
     )
 

@@ -14,6 +14,9 @@ RPR003    algorithm contract — algorithms declare ``name``,
 RPR004    no mutable default arguments
 RPR005    exported functions carry full type annotations
 RPR006    numpy constructions in ``relation/`` pin ``dtype=``
+RPR104    clock discipline — outside ``obs``/``metrics``, wall
+          time comes from ``repro.obs`` (monotonic/Clock), not
+          direct ``time.time()``/``time.perf_counter()`` calls
 ========  =====================================================
 
 The whole-program rules (RPR101 import layering, RPR102 purity
@@ -438,6 +441,61 @@ class NumpyDtypeRule(Rule):
         )
 
 
+class ClockDisciplineRule(Rule):
+    """RPR104 — wall time flows through ``repro.obs``.
+
+    The observability layer injects its clock (``SystemClock`` in
+    production, ``FakeClock`` in tests) so every recorded duration is
+    attributable and testable.  A stray ``time.perf_counter()`` in an
+    algorithm produces timings no trace can see and no fake clock can
+    control; ``repro.obs.monotonic`` (or an injected ``Clock``) is the
+    sanctioned source.  ``obs`` itself and ``metrics`` (whose ``timed``
+    benchmarks the real clock by design) are exempt, as is the isolated
+    ``analysis`` package, which may not import ``obs``.
+    """
+
+    code = "RPR104"
+    name = "clock-discipline"
+    rationale = (
+        "direct time.time()/time.perf_counter() calls outside repro.obs "
+        "and repro.metrics bypass clock injection and make timings "
+        "untraceable and untestable"
+    )
+    interests = (ast.Call,)
+
+    _EXEMPT_PACKAGES = ("obs", "metrics", "analysis")
+    _CLOCK_FUNCTIONS = frozenset(
+        {
+            "time",
+            "time_ns",
+            "perf_counter",
+            "perf_counter_ns",
+            "monotonic",
+            "monotonic_ns",
+            "process_time",
+            "process_time_ns",
+        }
+    )
+
+    def visit(self, node: ast.AST, module: Module) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        if module.in_packages(*self._EXEMPT_PACKAGES):
+            return
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in self._CLOCK_FUNCTIONS
+            and _is_module(func.value, "time")
+        ):
+            yield self.finding(
+                module,
+                node,
+                f"direct time.{func.attr}() call; use repro.obs.monotonic "
+                "or an injected Clock so timings stay traceable and "
+                "fake-clock testable",
+            )
+
+
 def _build_export_map(base: Path) -> dict[str, set[str]]:
     """Map module relpaths to the function names packages export.
 
@@ -555,5 +613,6 @@ def default_rules() -> list[Rule]:
         MutableDefaultRule(),
         PublicApiAnnotationRule(),
         NumpyDtypeRule(),
+        ClockDisciplineRule(),
         *default_project_rules(),
     ]

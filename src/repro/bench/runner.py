@@ -17,6 +17,7 @@ from ..algorithms import AidFd, EulerFD, Fdep, HyFD, Tane, TaneBudgetExceeded
 from ..core.result import DiscoveryResult
 from ..fd import FD
 from ..metrics import fd_set_metrics, timed
+from ..obs import Recorder, RunTelemetry, recording
 from ..relation.relation import Relation
 
 SKIPPED_MEMORY = "ML"
@@ -28,13 +29,20 @@ SKIPPED_TIME = "TL"
 
 @dataclass
 class AlgorithmRun:
-    """Outcome of one algorithm on one workload."""
+    """Outcome of one algorithm on one workload.
+
+    ``telemetry`` is populated only when the run was traced
+    (``run_algorithm(..., trace=True)``); it carries the per-phase
+    breakdown, counters and convergence series recorded by ``repro.obs``
+    so benchmark tables can report *where* the seconds went.
+    """
 
     algorithm: str
     seconds: float | None
     fds: frozenset[FD] | None
     skipped: str | None = None
     stats: dict[str, Any] = field(default_factory=dict)
+    telemetry: RunTelemetry | None = None
 
     @property
     def ok(self) -> bool:
@@ -58,12 +66,26 @@ def default_algorithms() -> dict[str, Callable[[], Any]]:
 
 
 def run_algorithm(
-    factory: Callable[[], Any], relation: Relation, repeats: int = 1
+    factory: Callable[[], Any],
+    relation: Relation,
+    repeats: int = 1,
+    trace: bool = False,
 ) -> AlgorithmRun:
-    """Run one algorithm, translating budget blow-ups into skip markers."""
+    """Run one algorithm, translating budget blow-ups into skip markers.
+
+    With ``trace=True`` a fresh :class:`repro.obs.Recorder` is installed
+    for the duration of the run and the resulting :class:`RunTelemetry`
+    is attached to the returned row.  Tracing off is the default and
+    leaves benchmark numbers untouched — no recorder, no events.
+    """
     algorithm = factory()
+    recorder = Recorder() if trace else None
     try:
-        run = timed(lambda: algorithm.discover(relation), repeats=repeats)
+        if recorder is not None:
+            with recording(recorder):
+                run = timed(lambda: algorithm.discover(relation), repeats=repeats)
+        else:
+            run = timed(lambda: algorithm.discover(relation), repeats=repeats)
     except TaneBudgetExceeded:
         return AlgorithmRun(algorithm.name, None, None, skipped=SKIPPED_MEMORY)
     except MemoryError:  # pragma: no cover - depends on host limits
@@ -74,6 +96,7 @@ def run_algorithm(
         seconds=run.seconds,
         fds=result.fds,
         stats=result.stats,
+        telemetry=result.telemetry,
     )
 
 

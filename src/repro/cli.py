@@ -7,6 +7,9 @@ Subcommands:
   runtimes, FD counts, and F1 against an exact baseline;
 * ``generate``  — materialize one of the registered benchmark datasets
   as CSV;
+* ``trace``     — run an algorithm on a registered dataset under the
+  observability recorder and export the trace (also installed as the
+  ``repro-trace`` console script);
 * ``datasets``  — list the registered benchmark datasets;
 * ``algorithms`` — list the available discovery algorithms.
 """
@@ -21,6 +24,7 @@ from .algorithms import available_algorithms, create
 from .bench.runner import GroundTruthCache, format_cell, print_table
 from .datasets import registry
 from .metrics import fd_set_metrics, timed
+from .obs import Recorder, chrome_trace, recording, summary_tree, to_jsonl, write_trace
 from .relation import read_csv, write_csv
 
 
@@ -75,9 +79,40 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--columns", type=int, default=None)
     generate.add_argument("--seed", type=int, default=None)
 
+    trace = commands.add_parser(
+        "trace",
+        help="run an algorithm on a registered dataset and export its trace",
+    )
+    add_trace_arguments(trace)
+
     commands.add_parser("datasets", help="list registered benchmark datasets")
     commands.add_parser("algorithms", help="list available algorithms")
     return parser
+
+
+def add_trace_arguments(parser: argparse.ArgumentParser) -> None:
+    """The ``trace`` options, shared by ``repro-fd trace`` and ``repro-trace``."""
+    parser.add_argument(
+        "--algorithm", default="eulerfd", choices=available_algorithms()
+    )
+    parser.add_argument(
+        "--dataset", default="iris", choices=registry.dataset_names()
+    )
+    parser.add_argument("--rows", type=int, default=None)
+    parser.add_argument("--columns", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="write the trace to this file instead of stdout",
+    )
+    parser.add_argument(
+        "--format",
+        dest="format",
+        default="summary",
+        choices=("jsonl", "chrome", "summary"),
+        help="trace flavor: raw JSONL events, Chrome trace JSON, or summary tree",
+    )
 
 
 def _cmd_discover(args: argparse.Namespace) -> int:
@@ -153,6 +188,33 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    relation = registry.make(
+        args.dataset, rows=args.rows, columns=args.columns, seed=args.seed
+    )
+    recorder = Recorder()
+    with recording(recorder):
+        result = create(args.algorithm).discover(relation)
+    if args.trace_out is not None:
+        write_trace(recorder, args.trace_out, format=args.format)
+        print(
+            f"{result.algorithm} on {relation.name} "
+            f"({relation.num_rows}x{relation.num_columns}): "
+            f"{len(result)} FDs in {result.runtime_seconds:.3f}s; "
+            f"wrote {args.format} trace ({len(recorder.events)} events) "
+            f"to {args.trace_out}"
+        )
+    elif args.format == "jsonl":
+        print(to_jsonl(recorder))
+    elif args.format == "chrome":
+        print(json.dumps(chrome_trace(recorder), indent=2))
+    else:
+        print(summary_tree(recorder))
+    return 0
+
+
 def _cmd_datasets(_: argparse.Namespace) -> int:
     rows = []
     for name in registry.dataset_names():
@@ -185,6 +247,7 @@ _HANDLERS = {
     "profile": _cmd_profile,
     "compare": _cmd_compare,
     "generate": _cmd_generate,
+    "trace": _cmd_trace,
     "datasets": _cmd_datasets,
     "algorithms": _cmd_algorithms,
 }
@@ -193,6 +256,16 @@ _HANDLERS = {
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     return _HANDLERS[args.command](args)
+
+
+def trace_main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of the ``repro-trace`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Trace an FD-discovery run and export the observability log",
+    )
+    add_trace_arguments(parser)
+    return _cmd_trace(parser.parse_args(argv))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -22,6 +22,7 @@ all-unique relation would be mis-profiled.
 from __future__ import annotations
 
 from ..fd import FD, NegativeCover
+from ..obs import point, span
 from ..relation.preprocess import preprocess
 from ..relation.relation import Relation
 from .config import EulerFDConfig
@@ -44,7 +45,8 @@ class EulerFD:
         """Run EulerFD on ``relation`` and return the discovered FDs."""
         watch = Stopwatch()
         config = self.config
-        data = preprocess(relation, config.null_equals_null)
+        with span("preprocess", relation=relation.name):
+            data = preprocess(relation, config.null_equals_null)
         num_attributes = data.num_columns
 
         ncover = NegativeCover(num_attributes)
@@ -66,27 +68,35 @@ class EulerFD:
 
         while cycles < config.max_cycles:
             cycles += 1
-            # ---- first cycle: sampling vs negative-cover growth ----------
-            # Each iteration is a full Algorithm-1 drain; while the
-            # negative cover keeps growing fast, retired clusters get a
-            # fresh streak and sampling continues (Alg. 2, lines 7-8).
-            while True:
-                violations, pass_stats = sampler.run_pass()
-                if pass_stats.pairs_compared == 0:
-                    break  # the sampler is dry; hand over to inversion
-                rounds += 1
-                size_before = max(len(ncover), 1)
-                added = self._grow_ncover(violations, ncover, pending)
-                final_gr_ncover = added / size_before
-                if final_gr_ncover <= config.th_ncover:
-                    break
-                sampler.revive()
-            # ---- inversion and the second cycle --------------------------
-            pcover_before = max(len(inverter.pcover), 1)
-            inversion_stats = inverter.process(pending)
-            pending.clear()
-            inversions += 1
-            final_gr_pcover = inversion_stats.candidates_added / pcover_before
+            with span("cycle", cycle=cycles):
+                # ---- first cycle: sampling vs negative-cover growth ------
+                # Each iteration is a full Algorithm-1 drain; while the
+                # negative cover keeps growing fast, retired clusters get a
+                # fresh streak and sampling continues (Alg. 2, lines 7-8).
+                while True:
+                    with span("sampling", cycle=cycles):
+                        violations, pass_stats = sampler.run_pass()
+                    if pass_stats.pairs_compared == 0:
+                        break  # the sampler is dry; hand over to inversion
+                    rounds += 1
+                    size_before = max(len(ncover), 1)
+                    with span("ncover", cycle=cycles):
+                        added = self._grow_ncover(violations, ncover, pending)
+                    final_gr_ncover = added / size_before
+                    # The trajectory behind Algorithm 2's stopping rule
+                    # (paper Fig. 11): one point per sampling round.
+                    point("gr_ncover", rounds, final_gr_ncover, cycle=cycles)
+                    if final_gr_ncover <= config.th_ncover:
+                        break
+                    sampler.revive()
+                # ---- inversion and the second cycle ----------------------
+                pcover_before = max(len(inverter.pcover), 1)
+                with span("inversion", cycle=cycles):
+                    inversion_stats = inverter.process(pending)
+                pending.clear()
+                inversions += 1
+                final_gr_pcover = inversion_stats.candidates_added / pcover_before
+                point("gr_pcover", cycles, final_gr_pcover, cycle=cycles)
             if final_gr_pcover <= config.th_pcover:
                 break
             if not sampler.has_more() and sampler.revive() == 0:

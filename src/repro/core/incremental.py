@@ -28,6 +28,7 @@ from typing import Any
 
 from ..algorithms.fdep import compute_agree_masks
 from ..fd import FD, NegativeCover, attrset
+from ..obs import counter, span
 from ..relation.preprocess import preprocess
 from ..relation.relation import Relation
 from .config import EulerFDConfig
@@ -79,8 +80,10 @@ class IncrementalEulerFD:
         for index, column in enumerate(self._columns):
             column.extend(row[index] for row in rows)
         self.appends += 1
-        pending = self._compare_new_rows(first_new)
-        self.inverter.process(pending)
+        with span("append", batch=self.appends, rows=len(rows)):
+            pending = self._compare_new_rows(first_new)
+            with span("inversion", batch=self.appends):
+                self.inverter.process(pending)
         return self._snapshot(watch)
 
     def current_result(self) -> DiscoveryResult:
@@ -95,25 +98,26 @@ class IncrementalEulerFD:
         )
 
     def _profile_base(self) -> None:
-        relation = self._relation()
-        data = preprocess(relation, self.config.null_equals_null)
-        pending: list[FD] = []
-        self._seed_empty_lhs(data, pending)
-        if self.exhaustive_base:
-            for agree in compute_agree_masks(data):
-                self._admit(agree, self._universe & ~agree, pending)
-            self.pairs_compared += data.num_rows * (data.num_rows - 1) // 2
-        else:
-            sampler = SamplingModule(data, self.config)
-            while sampler.has_more():
-                violations, stats = sampler.run_pass()
-                if stats.pairs_compared == 0:
-                    break
-                for agree, novel in violations:
-                    self._admit(agree, novel, pending)
-                sampler.revive()
-            self.pairs_compared += sampler.total_pairs
-        self.inverter.process(pending)
+        with span("profile_base", exhaustive=self.exhaustive_base):
+            relation = self._relation()
+            data = preprocess(relation, self.config.null_equals_null)
+            pending: list[FD] = []
+            self._seed_empty_lhs(data, pending)
+            if self.exhaustive_base:
+                for agree in compute_agree_masks(data):
+                    self._admit(agree, self._universe & ~agree, pending)
+                self.pairs_compared += data.num_rows * (data.num_rows - 1) // 2
+            else:
+                sampler = SamplingModule(data, self.config)
+                while sampler.has_more():
+                    violations, stats = sampler.run_pass()
+                    if stats.pairs_compared == 0:
+                        break
+                    for agree, novel in violations:
+                        self._admit(agree, novel, pending)
+                    sampler.revive()
+                self.pairs_compared += sampler.total_pairs
+            self.inverter.process(pending)
 
     def _seed_empty_lhs(self, data, pending: list[FD]) -> None:
         for attribute in range(self.num_attributes):
@@ -154,6 +158,7 @@ class IncrementalEulerFD:
                     rows_a.append(mate)
                     rows_b.append(new_row)
         self.pairs_compared += len(rows_a)
+        counter("incremental.pairs_compared", len(rows_a))
         if rows_a:
             for agree in data.agree_masks_bulk(rows_a, rows_b):
                 self._admit(agree, self._universe & ~agree, pending)

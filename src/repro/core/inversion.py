@@ -22,6 +22,7 @@ from collections.abc import Iterable
 
 from ..fd import FD, PositiveCover, attrset
 from ..fd.fd import sort_for_cover_insertion
+from ..obs import counter
 
 
 @dataclass
@@ -54,6 +55,9 @@ class Inverter:
         for non_fd in sort_for_cover_insertion(non_fds):
             self._invert_one(non_fd, stats)
             stats.non_fds_processed += 1
+        counter("inverter.non_fds_inverted", stats.non_fds_processed)
+        counter("inverter.candidates_removed", stats.candidates_removed)
+        counter("inverter.candidates_added", stats.candidates_added)
         return stats
 
     def _invert_one(self, non_fd: FD, stats: InversionStats) -> None:

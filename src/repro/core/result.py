@@ -3,12 +3,12 @@
 from __future__ import annotations
 
 import json
-import time
 from dataclasses import dataclass, field
 from collections.abc import Iterator, Sequence
 from typing import Any
 
 from ..fd import FD
+from ..obs import RunTelemetry, current_recorder, monotonic
 
 
 @dataclass(frozen=True)
@@ -18,6 +18,11 @@ class DiscoveryResult:
     ``fds`` holds the non-trivial minimal FDs (the *target Pcover* of
     Section III); ``stats`` carries algorithm-specific counters such as
     tuple pairs compared, cycles executed, or lattice levels visited.
+
+    ``telemetry`` is the typed per-run record (counters, series, phase
+    breakdown) sliced from the recorder active during the run; it is
+    None when tracing was disabled, so untraced runs stay exactly as
+    cheap as before the observability layer existed.
     """
 
     fds: frozenset[FD]
@@ -28,6 +33,7 @@ class DiscoveryResult:
     column_names: tuple[str, ...]
     runtime_seconds: float
     stats: dict[str, Any] = field(default_factory=dict)
+    telemetry: RunTelemetry | None = None
 
     def __len__(self) -> int:
         return len(self.fds)
@@ -54,7 +60,7 @@ class DiscoveryResult:
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-serializable view: FDs as name lists plus all metadata."""
-        return {
+        payload: dict[str, Any] = {
             "algorithm": self.algorithm,
             "relation": self.relation_name,
             "num_rows": self.num_rows,
@@ -69,6 +75,9 @@ class DiscoveryResult:
                 for fd in sorted(self.fds)
             ],
         }
+        if self.telemetry is not None:
+            payload["telemetry"] = self.telemetry.to_dict()
+        return payload
 
     def to_json(self, indent: int | None = 2) -> str:
         """Serialize the result (e.g. for tooling downstream of the CLI)."""
@@ -90,15 +99,30 @@ class DiscoveryResult:
 
 
 class Stopwatch:
-    """Monotonic timer used by every algorithm for its runtime report."""
+    """Monotonic timer used by every algorithm for its runtime report.
 
-    __slots__ = ("_start",)
+    Every ``discover`` constructs one first thing, which makes it the
+    natural anchor of a run: besides the start time it captures the
+    active recorder (if tracing is on) and a mark into its event log, so
+    :func:`make_result` can slice out exactly the telemetry this run
+    produced even when one recorder observes many runs back to back.
+    """
+
+    __slots__ = ("_start", "_recorder", "_mark")
 
     def __init__(self) -> None:
-        self._start = time.perf_counter()
+        self._start = monotonic()
+        self._recorder = current_recorder()
+        self._mark = self._recorder.mark() if self._recorder is not None else 0
 
     def elapsed(self) -> float:
-        return time.perf_counter() - self._start
+        return monotonic() - self._start
+
+    def telemetry(self) -> RunTelemetry | None:
+        """The run's telemetry slice, or None when tracing was off."""
+        if self._recorder is None:
+            return None
+        return RunTelemetry.from_recorder(self._recorder, self._mark)
 
 
 def make_result(
@@ -111,7 +135,11 @@ def make_result(
     watch: Stopwatch,
     stats: dict[str, Any] | None = None,
 ) -> DiscoveryResult:
-    """Assemble a :class:`DiscoveryResult`, stamping the elapsed runtime."""
+    """Assemble a :class:`DiscoveryResult`, stamping the elapsed runtime.
+
+    When a recorder was active while ``watch`` ran, the result carries
+    the run's :class:`~repro.obs.RunTelemetry` slice.
+    """
     return DiscoveryResult(
         fds=frozenset(fds),
         algorithm=algorithm,
@@ -121,4 +149,5 @@ def make_result(
         column_names=tuple(column_names),
         runtime_seconds=watch.elapsed(),
         stats=dict(stats) if stats else {},
+        telemetry=watch.telemetry(),
     )

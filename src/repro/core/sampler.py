@@ -29,6 +29,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from ..fd import attrset
+from ..obs import counter, gauge
 from ..relation.preprocess import PreprocessedRelation
 from .config import EulerFDConfig, MlfqPolicy
 from .mlfq import MultilevelFeedbackQueue
@@ -40,7 +41,7 @@ Violation = tuple[int, int]
 class ClusterState:
     """Sampling state of one stripped-partition cluster."""
 
-    __slots__ = ("rows", "window", "history", "samples", "last_capa")
+    __slots__ = ("rows", "window", "history", "samples", "last_capa", "queue_level")
 
     def __init__(self, rows: tuple[int, ...], initial_window: int, history: int) -> None:
         self.rows = rows
@@ -48,6 +49,8 @@ class ClusterState:
         self.history: deque[float] = deque(maxlen=history)
         self.samples = 0
         self.last_capa = 0.0
+        self.queue_level: int | None = None
+        """MLFQ queue index after the last push (telemetry only)."""
 
     @property
     def exhausted(self) -> bool:
@@ -156,6 +159,7 @@ class SamplingModule:
                 revived += 1
         if revived:
             self.revivals += 1
+            counter("sampler.revived_clusters", revived)
         return revived
 
     def _refill_queue(self) -> None:
@@ -166,7 +170,21 @@ class SamplingModule:
         for cluster in self._clusters:
             if cluster.active:
                 capa = cluster.last_capa if cluster.samples else float("inf")
-                self._queue.push(cluster, capa)
+                self._push(cluster, capa)
+
+    def _push(self, cluster: ClusterState, capa: float) -> None:
+        """Enqueue a cluster, counting MLFQ promotions and demotions.
+
+        Mutates: self, cluster
+        """
+        level = self._queue.push(cluster, capa)
+        previous = cluster.queue_level
+        if previous is not None:
+            if level < previous:
+                counter("mlfq.promotions")
+            elif level > previous:
+                counter("mlfq.demotions")
+        cluster.queue_level = level
 
     def run_pass(self, max_samples: int | None = None) -> tuple[list[Violation], RoundStats]:
         """Drain the MLFQ: one full execution of Algorithm 1's main loop.
@@ -193,11 +211,16 @@ class SamplingModule:
             capa = self._sample(cluster, violations, stats)
             stats.cluster_samples += 1
             if not cluster.exhausted and not cluster.retired:
-                self._queue.push(cluster, capa)
+                self._push(cluster, capa)
         stats.queue_occupancy = self._queue.queue_sizes()
         self.rounds_run += 1
         self.total_pairs += stats.pairs_compared
         self.total_new_non_fds += stats.new_non_fds
+        counter("sampler.passes")
+        counter("sampler.cluster_visits", stats.cluster_samples)
+        counter("sampler.pairs_compared", stats.pairs_compared)
+        counter("sampler.new_non_fds", stats.new_non_fds)
+        gauge("mlfq.occupancy", float(len(self._queue)), sizes=stats.queue_occupancy)
         return violations, stats
 
     # -- the sliding window -------------------------------------------------
@@ -230,6 +253,10 @@ class SamplingModule:
                 out.append((agree, novel))
         stats.pairs_compared += num_positions
         stats.new_non_fds += new_count
+        if new_count:
+            # A window position that still yields novel violations: the
+            # signal the MLFQ uses to keep a cluster hot (Fig. 3).
+            counter("sampler.window_hits")
         capa = new_count / num_positions if num_positions else 0.0
         cluster.record(capa)
         cluster.window += 1

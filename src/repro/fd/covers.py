@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from collections.abc import Callable, Iterable, Iterator, Sequence
 
+from ..obs import counter
 from . import attrset
 from .binary_tree import BinaryLhsTree
 from .fd import FD
@@ -77,11 +78,16 @@ class NegativeCover:
         tree = self._trees[non_fd.rhs]
         if tree.contains_superset(non_fd.lhs):
             return False
+        evicted = 0
         for general in tree.find_subsets(non_fd.lhs):
             tree.remove(general)
             self._size -= 1
+            evicted += 1
         tree.add(non_fd.lhs)
         self._size += 1
+        counter("ncover.added")
+        if evicted:
+            counter("ncover.generalizations_evicted", evicted)
         return True
 
     def add_all(self, non_fds: Iterable[FD]) -> int:
@@ -169,11 +175,16 @@ class PositiveCover:
         tree = self._trees[fd.rhs]
         if tree.contains_subset(fd.lhs):
             return False
+        evicted = 0
         for special in tree.find_supersets(fd.lhs):
             tree.remove(special)
             self._size -= 1
+            evicted += 1
         tree.add(fd.lhs)
         self._size += 1
+        counter("pcover.added")
+        if evicted:
+            counter("pcover.specializations_evicted", evicted)
         return True
 
     def add_minimal(self, fd: FD) -> bool:
@@ -188,6 +199,7 @@ class PositiveCover:
         """
         if self._trees[fd.rhs].add(fd.lhs):
             self._size += 1
+            counter("pcover.added")
             return True
         return False
 
@@ -198,6 +210,7 @@ class PositiveCover:
         """
         if self._trees[fd.rhs].remove(fd.lhs):
             self._size -= 1
+            counter("pcover.removed")
             return True
         return False
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import gc
 import statistics
 import time
 from dataclasses import dataclass
@@ -13,7 +14,12 @@ T = TypeVar("T")
 
 @dataclass(frozen=True)
 class TimedRun:
-    """Result of timing one callable: value plus wall-clock statistics."""
+    """Result of timing one callable: value plus wall-clock statistics.
+
+    ``value`` is the return value of the *last* repeat — all repeats must
+    be equivalent for the timing to mean anything, which holds for the
+    deterministic discovery algorithms measured here.
+    """
 
     value: Any
     seconds: float
@@ -28,9 +34,21 @@ class TimedRun:
     def mean(self) -> float:
         return statistics.fmean(self.all_seconds)
 
+    @property
+    def stdev(self) -> float:
+        """Sample standard deviation across repeats (0.0 for one repeat)."""
+        if len(self.all_seconds) < 2:
+            return 0.0
+        return statistics.stdev(self.all_seconds)
+
 
 def timed(function: Callable[[], T], repeats: int = 1) -> TimedRun:
     """Run ``function`` ``repeats`` times; report the median wall time.
+
+    The cyclic garbage collector is disabled around each timed run — a
+    collection landing inside one repeat would charge its pause to the
+    algorithm and skew short measurements — and restored to its prior
+    state afterwards (including on exceptions).
 
     The *last* return value is kept (all runs must be equivalent for the
     timing to mean anything; discovery algorithms here are deterministic).
@@ -39,10 +57,16 @@ def timed(function: Callable[[], T], repeats: int = 1) -> TimedRun:
         raise ValueError("repeats must be at least 1")
     durations = []
     value: T | None = None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        value = function()
-        durations.append(time.perf_counter() - start)
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            start = time.perf_counter()
+            value = function()
+            durations.append(time.perf_counter() - start)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
     return TimedRun(
         value=value,
         seconds=statistics.median(durations),

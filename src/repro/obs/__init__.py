@@ -1,0 +1,80 @@
+"""``repro.obs`` — tracing, metrics, and convergence telemetry.
+
+The instrumentation substrate for the whole package (DESIGN.md §7).  It
+sits *below* every other layer — ``fd``, ``relation``, ``core``, the
+benchmark harness — so any module may record into it, and it imports
+nothing from the rest of the package.
+
+Instrumented code calls the module-level helpers (:func:`span`,
+:func:`counter`, :func:`gauge`, :func:`point`); with no recorder
+installed they are no-ops costing one thread-local read, so the
+permanently instrumented hot paths stay free in production.  Wrap a run
+in :func:`recording` to capture a full trace, then export it with
+:func:`to_jsonl`, :func:`chrome_trace` (Perfetto / ``chrome://tracing``)
+or :func:`summary_tree`, or read the typed :class:`RunTelemetry` a
+traced :class:`~repro.core.result.DiscoveryResult` carries::
+
+    from repro import obs
+
+    with obs.recording() as recorder:
+        result = create("eulerfd").discover(relation)
+    print(obs.summary_tree(recorder))
+    print(result.telemetry.series["gr_ncover"])
+"""
+
+from .clock import Clock, FakeClock, SystemClock, monotonic, system_clock
+from .exporters import (
+    chrome_trace,
+    event_dicts,
+    events_from_jsonl,
+    summary_tree,
+    to_jsonl,
+    validate_chrome_trace,
+    write_trace,
+)
+from .recorder import (
+    NULL_SPAN,
+    Event,
+    Recorder,
+    SpanHandle,
+    counter,
+    current_recorder,
+    enabled,
+    gauge,
+    install,
+    point,
+    recording,
+    span,
+    uninstall,
+)
+from .telemetry import PhaseStat, RunTelemetry
+
+__all__ = [
+    "Clock",
+    "Event",
+    "FakeClock",
+    "NULL_SPAN",
+    "PhaseStat",
+    "Recorder",
+    "RunTelemetry",
+    "SpanHandle",
+    "SystemClock",
+    "chrome_trace",
+    "counter",
+    "current_recorder",
+    "enabled",
+    "event_dicts",
+    "events_from_jsonl",
+    "gauge",
+    "install",
+    "monotonic",
+    "point",
+    "recording",
+    "span",
+    "summary_tree",
+    "system_clock",
+    "to_jsonl",
+    "uninstall",
+    "validate_chrome_trace",
+    "write_trace",
+]

@@ -1,0 +1,82 @@
+"""Clock abstraction for the observability layer.
+
+Every timestamp the package records flows through a :class:`Clock`, for
+two reasons.  First, determinism: tests inject a :class:`FakeClock` and
+get byte-stable traces — span durations, event ordering and exporter
+output no longer depend on the host's scheduler.  Second, discipline:
+lint rule RPR104 bans direct ``time.time``/``time.perf_counter`` calls
+everywhere in ``src/repro`` outside this package and ``repro.metrics``,
+so this module is the single place the wall clock enters the system.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """A monotonic time source measured in float seconds."""
+
+    def now(self) -> float:
+        """The current monotonic reading, in seconds."""
+
+
+class SystemClock:
+    """The real monotonic clock (``time.perf_counter``)."""
+
+    __slots__ = ()
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class FakeClock:
+    """A manually-advanced clock for deterministic tests.
+
+    ``tick`` optionally auto-advances the clock by a fixed step on every
+    reading, so a plain sequence of instrumentation calls yields strictly
+    increasing, predictable timestamps without any ``advance()`` calls.
+    """
+
+    __slots__ = ("_now", "tick")
+
+    def __init__(self, start: float = 0.0, tick: float = 0.0) -> None:
+        self._now = float(start)
+        self.tick = float(tick)
+
+    def now(self) -> float:
+        reading = self._now
+        self._now += self.tick
+        return reading
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward by ``seconds``.
+
+        Mutates: self
+        """
+        if seconds < 0:
+            raise ValueError(f"a monotonic clock cannot go back: {seconds}")
+        self._now += seconds
+
+
+_SYSTEM_CLOCK = SystemClock()
+
+
+def system_clock() -> SystemClock:
+    """The shared :class:`SystemClock` instance.
+
+    Pure: returns a module-level singleton.
+    """
+    return _SYSTEM_CLOCK
+
+
+def monotonic() -> float:
+    """One reading of the system monotonic clock.
+
+    The sanctioned replacement for direct ``time.perf_counter()`` calls
+    (RPR104): runtime stamps such as :class:`repro.core.result.Stopwatch`
+    route through here so clock usage stays auditable in one module.
+    """
+    return _SYSTEM_CLOCK.now()

@@ -1,0 +1,236 @@
+"""Trace exporters: JSONL event log, Chrome trace JSON, summary tree.
+
+Three views of one recorder, for three audiences:
+
+* :func:`to_jsonl` — the raw event log, one JSON object per line, for
+  ad-hoc downstream tooling (pandas, jq) and lossless archiving;
+* :func:`chrome_trace` — the Trace Event Format understood by Perfetto
+  and ``chrome://tracing``: spans become complete (``"X"``) events,
+  counters/gauges/series become counter (``"C"``) tracks, so a single
+  EulerFD run opens as a flame chart with the ``GR_Ncover`` trajectory
+  plotted under it;
+* :func:`summary_tree` — a human-readable per-phase breakdown printed by
+  the CLI, the quick answer to "where did the time go".
+
+:func:`validate_chrome_trace` checks the schema invariants the Chrome
+format requires; the CI trace-smoke job and the exporter tests share it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .recorder import COUNTER, GAUGE, POINT, SPAN, Recorder
+from .telemetry import phase_stats
+
+_PHASES = {"B", "E", "X", "C", "M", "I"}
+"""Trace-event phase codes this exporter may emit."""
+
+
+# -- JSONL --------------------------------------------------------------------
+
+
+def event_dicts(recorder: Recorder) -> list[dict[str, Any]]:
+    """Every event as a JSON-ready dict, in log order."""
+    rows: list[dict[str, Any]] = []
+    for event in recorder.events:
+        row: dict[str, Any] = {
+            "seq": event.seq,
+            "kind": event.kind,
+            "name": event.name,
+            "t": event.time,
+            "depth": event.depth,
+        }
+        if event.parent is not None:
+            row["parent"] = event.parent
+        if event.value is not None:
+            row["value"] = event.value
+        if event.x is not None:
+            row["x"] = event.x
+        if event.end is not None:
+            row["end"] = event.end
+        if event.attrs:
+            row["attrs"] = dict(event.attrs)
+        rows.append(row)
+    return rows
+
+
+def to_jsonl(recorder: Recorder) -> str:
+    """The whole log as newline-delimited JSON (one event per line)."""
+    return "\n".join(
+        json.dumps(row, sort_keys=True, default=str) for row in event_dicts(recorder)
+    )
+
+
+def events_from_jsonl(text: str) -> list[dict[str, Any]]:
+    """Parse :func:`to_jsonl` output back into event dicts."""
+    return [json.loads(line) for line in text.splitlines() if line.strip()]
+
+
+# -- Chrome trace-event JSON --------------------------------------------------
+
+
+def chrome_trace(recorder: Recorder, process_name: str = "repro") -> dict[str, Any]:
+    """The log in Chrome Trace Event Format (Perfetto-loadable).
+
+    Timestamps are microseconds relative to the recorder's creation;
+    still-open spans are emitted as begin (``"B"``) events so partial
+    traces of an interrupted run remain loadable.
+    """
+    origin = recorder.start_time
+    events: list[dict[str, Any]] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": 1,
+            "tid": 1,
+            "ts": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    totals: dict[str, float] = {}
+    for event in recorder.events:
+        ts = (event.time - origin) * 1e6
+        if event.kind == SPAN:
+            row: dict[str, Any] = {
+                "name": event.name,
+                "cat": "span",
+                "pid": 1,
+                "tid": 1,
+                "ts": ts,
+                "args": {key: str(value) for key, value in event.attrs.items()},
+            }
+            if event.end is None:
+                row["ph"] = "B"
+            else:
+                row["ph"] = "X"
+                row["dur"] = (event.end - event.time) * 1e6
+            events.append(row)
+        elif event.kind == COUNTER:
+            totals[event.name] = totals.get(event.name, 0) + event.value
+            events.append(
+                {
+                    "ph": "C",
+                    "name": event.name,
+                    "cat": "counter",
+                    "pid": 1,
+                    "tid": 1,
+                    "ts": ts,
+                    "args": {event.name: totals[event.name]},
+                }
+            )
+        elif event.kind in (GAUGE, POINT):
+            events.append(
+                {
+                    "ph": "C",
+                    "name": event.name,
+                    "cat": "series" if event.kind == POINT else "gauge",
+                    "pid": 1,
+                    "tid": 1,
+                    "ts": ts,
+                    "args": {event.name: event.value},
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(payload: Any) -> list[str]:
+    """Schema problems of a Chrome trace payload (empty list = valid).
+
+    Checks the invariants the viewers actually require: a
+    ``traceEvents`` list whose entries carry a string ``name``, a known
+    ``ph`` code, numeric non-negative ``ts``, integer ``pid``/``tid``,
+    and a numeric ``dur`` on complete (``"X"``) events.
+    """
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return [f"payload must be a JSON object, got {type(payload).__name__}"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["payload is missing the 'traceEvents' list"]
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            problems.append(f"{where}: missing string 'name'")
+        phase = event.get("ph")
+        if phase not in _PHASES:
+            problems.append(f"{where}: unknown phase {phase!r}")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: 'ts' must be a non-negative number")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                problems.append(f"{where}: '{key}' must be an integer")
+        if phase == "X" and not isinstance(event.get("dur"), (int, float)):
+            problems.append(f"{where}: complete event needs a numeric 'dur'")
+        if phase == "C" and not isinstance(event.get("args"), dict):
+            problems.append(f"{where}: counter event needs an 'args' object")
+    return problems
+
+
+# -- human-readable summary ---------------------------------------------------
+
+
+def summary_tree(recorder: Recorder) -> str:
+    """Per-phase wall-time tree plus counter and series summaries."""
+    stats = phase_stats(recorder.events, recorder)
+    lines: list[str] = [
+        f"trace: {len(recorder.events)} events, "
+        f"{sum(1 for e in recorder.events if e.kind == SPAN)} spans"
+    ]
+    if stats:
+        width = max(len("  " * s.path.count("/") + s.path.rsplit("/", 1)[-1]) for s in stats)
+        lines.append("phases:")
+        for stat in stats:
+            label = "  " * stat.path.count("/") + stat.path.rsplit("/", 1)[-1]
+            lines.append(
+                f"  {label.ljust(width)}  {stat.count:>5}x  "
+                f"total {stat.total_seconds:.6f}s  self {stat.self_seconds:.6f}s"
+            )
+    if recorder.counter_totals:
+        lines.append("counters:")
+        width = max(len(name) for name in recorder.counter_totals)
+        for name in sorted(recorder.counter_totals):
+            total = recorder.counter_totals[name]
+            rendered = f"{total:g}"
+            lines.append(f"  {name.ljust(width)}  {rendered}")
+    series_names: list[str] = []
+    for event in recorder.events:
+        if event.kind == POINT and event.name not in series_names:
+            series_names.append(event.name)
+    if series_names:
+        lines.append("series:")
+        width = max(len(name) for name in series_names)
+        for name in series_names:
+            points = recorder.series(name)
+            lines.append(
+                f"  {name.ljust(width)}  {len(points)} points  "
+                f"first={points[0][1]:.6f}  last={points[-1][1]:.6f}"
+            )
+    return "\n".join(lines)
+
+
+# -- file helpers -------------------------------------------------------------
+
+
+def write_trace(recorder: Recorder, path: str | Path, format: str = "jsonl") -> None:
+    """Write one exporter's output to ``path`` (UTF-8).
+
+    ``format`` is ``"jsonl"``, ``"chrome"`` or ``"summary"`` — the same
+    names the ``repro-trace`` CLI accepts.
+    """
+    path = Path(path)
+    if format == "jsonl":
+        text = to_jsonl(recorder) + "\n"
+    elif format == "chrome":
+        text = json.dumps(chrome_trace(recorder), indent=2) + "\n"
+    elif format == "summary":
+        text = summary_tree(recorder) + "\n"
+    else:
+        raise ValueError(f"unknown trace format {format!r}")
+    path.write_text(text, encoding="utf-8")

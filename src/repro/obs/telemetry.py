@@ -1,0 +1,147 @@
+"""Typed per-run telemetry attached to discovery results.
+
+:class:`RunTelemetry` replaces the ad-hoc ``stats`` dicts each algorithm
+used to populate with whatever keys it liked: counters, named (x, y)
+series and a per-phase wall-time breakdown, all typed and all produced
+by the same recorder slice.  A result's legacy ``stats`` dict remains as
+a counters view for existing callers, but the telemetry object is the
+structured record — the ``GR_Ncover``/``GR_Pcover`` trajectories behind
+the paper's Fig. 11 convergence curves are first-class series here, not
+a float that survived the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from .recorder import COUNTER, POINT, SPAN, Event, Recorder
+
+SeriesPoint = tuple[float, float]
+"""One (x, y) sample of a named series."""
+
+
+@dataclass(frozen=True)
+class PhaseStat:
+    """Aggregated wall time of one span path (e.g. ``cycle/sampling``)."""
+
+    path: str
+    """Span names joined by ``/`` from the outermost enclosing span."""
+    count: int
+    total_seconds: float
+    self_seconds: float
+    """Total minus the time spent in child spans."""
+
+
+@dataclass(frozen=True)
+class RunTelemetry:
+    """Everything one run recorded, sliced out of the active recorder."""
+
+    counters: dict[str, float]
+    series: dict[str, tuple[SeriesPoint, ...]]
+    phases: tuple[PhaseStat, ...]
+
+    @classmethod
+    def from_recorder(cls, recorder: Recorder, mark: int = 0) -> RunTelemetry:
+        """Build telemetry from the events recorded at or after ``mark``.
+
+        Only *closed* spans contribute to the phase breakdown; a span
+        still open at snapshot time (e.g. the enclosing ``discover``
+        span) has no duration yet and is skipped.
+        """
+        events = recorder.events_since(mark)
+        counters: dict[str, float] = {}
+        series: dict[str, list[SeriesPoint]] = {}
+        for event in events:
+            if event.kind == COUNTER:
+                counters[event.name] = counters.get(event.name, 0) + event.value
+            elif event.kind == POINT:
+                series.setdefault(event.name, []).append((event.x, event.value))
+        return cls(
+            counters=counters,
+            series={name: tuple(points) for name, points in series.items()},
+            phases=phase_stats(events, recorder),
+        )
+
+    def series_values(self, name: str) -> list[float]:
+        """The y-values of one series, in record order (empty if absent)."""
+        return [y for _, y in self.series.get(name, ())]
+
+    def phase(self, path: str) -> PhaseStat | None:
+        """The aggregate for one span path, or None when never entered."""
+        for stat in self.phases:
+            if stat.path == path:
+                return stat
+        return None
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable view (used by ``DiscoveryResult.to_dict``)."""
+        return {
+            "counters": dict(self.counters),
+            "series": {
+                name: [[x, y] for x, y in points]
+                for name, points in self.series.items()
+            },
+            "phases": [
+                {
+                    "path": stat.path,
+                    "count": stat.count,
+                    "total_seconds": stat.total_seconds,
+                    "self_seconds": stat.self_seconds,
+                }
+                for stat in self.phases
+            ],
+        }
+
+
+def span_path(event: Event, recorder: Recorder) -> str:
+    """A span's ``outer/inner`` name path via its parent chain."""
+    names = [event.name]
+    parent = event.parent
+    while parent is not None:
+        parent_event = recorder.events[parent]
+        names.append(parent_event.name)
+        parent = parent_event.parent
+    return "/".join(reversed(names))
+
+
+def phase_stats(events: list[Event], recorder: Recorder) -> tuple[PhaseStat, ...]:
+    """Aggregate closed spans by path, in first-appearance order.
+
+    Self time subtracts each closed child's duration from its parent's
+    total, so a path's ``self_seconds`` is the wall time spent in that
+    phase's own code rather than in instrumented sub-phases.
+    """
+    order: list[str] = []
+    count: dict[str, int] = {}
+    total: dict[str, float] = {}
+    child_time: dict[int, float] = {}
+    closed = [
+        event for event in events if event.kind == SPAN and event.end is not None
+    ]
+    for event in closed:
+        path = span_path(event, recorder)
+        if path not in count:
+            order.append(path)
+            count[path] = 0
+            total[path] = 0.0
+        count[path] += 1
+        total[path] += event.end - event.time
+        if event.parent is not None:
+            child_time[event.parent] = (
+                child_time.get(event.parent, 0.0) + event.end - event.time
+            )
+    self_time: dict[str, float] = {path: 0.0 for path in order}
+    for event in closed:
+        path = span_path(event, recorder)
+        duration = event.end - event.time
+        self_time[path] += duration - child_time.get(event.seq, 0.0)
+    return tuple(
+        PhaseStat(
+            path=path,
+            count=count[path],
+            total_seconds=total[path],
+            self_seconds=self_time[path],
+        )
+        for path in order
+    )

@@ -1,0 +1,11 @@
+"""RPR104 fixture: direct wall-clock reads outside obs/metrics."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def tick() -> float:
+    return time.perf_counter()

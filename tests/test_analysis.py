@@ -35,6 +35,7 @@ EXPECTED_FIXTURE_RULES = {
     "metrics/rpr004_mutable_default.py": "RPR004",
     "metrics/rpr005_unannotated.py": "RPR005",
     "relation/rpr006_dtype.py": "RPR006",
+    "core/rpr104_clock.py": "RPR104",
     "metrics/rpr101_layering.py": "RPR101",
     "core/rpr101_cycle_a.py": "RPR101",
     "core/rpr101_cycle_b.py": "RPR101",
