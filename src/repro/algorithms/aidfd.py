@@ -18,9 +18,8 @@ from ..core.inversion import Inverter
 from ..core.result import DiscoveryResult, Stopwatch, make_result
 from ..fd import FD, NegativeCover, attrset
 from ..obs import counter, point, span
-from ..relation.preprocess import preprocess
 from ..relation.relation import Relation
-from .base import register
+from .base import execution_context, register
 
 
 @register("aidfd")
@@ -46,11 +45,12 @@ class AidFd:
 
     def discover(self, relation: Relation) -> DiscoveryResult:
         watch = Stopwatch()
-        data = preprocess(relation, self.null_equals_null)
+        context = execution_context(relation, self.null_equals_null)
+        data = context.data
         num_attributes = data.num_columns
         universe = attrset.universe(num_attributes)
 
-        clusters = self._collect_clusters(data)
+        clusters = context.sampling_clusters(self.dedupe_clusters)
         ncover = NegativeCover(num_attributes)
         pending: list[FD] = []
         for attribute in range(num_attributes):
@@ -119,14 +119,3 @@ class AidFd:
                 "candidates_added": inversion.candidates_added,
             },
         )
-
-    def _collect_clusters(self, data) -> list[tuple[int, ...]]:
-        clusters: list[tuple[int, ...]] = []
-        registered: set[tuple[int, ...]] = set()
-        for _, rows in data.iter_clusters():
-            if self.dedupe_clusters:
-                if rows in registered:
-                    continue
-                registered.add(rows)
-            clusters.append(rows)
-        return clusters

@@ -23,8 +23,9 @@ from itertools import combinations
 from ..core.result import DiscoveryResult, Stopwatch, make_result
 from ..fd import FD, attrset
 from ..metrics.error import violation_profile
-from ..relation.preprocess import PreprocessedRelation, preprocess
+from ..relation.preprocess import PreprocessedRelation
 from ..relation.relation import Relation
+from .base import execution_context
 
 
 class ApproxFDs:
@@ -53,7 +54,7 @@ class ApproxFDs:
                 f"max_columns={self.max_columns} safety bound"
             )
         watch = Stopwatch()
-        data = preprocess(relation, self.null_equals_null)
+        data = execution_context(relation, self.null_equals_null).data
         num_attributes = data.num_columns
         fds: list[FD] = []
         checks = 0

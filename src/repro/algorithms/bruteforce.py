@@ -1,19 +1,21 @@
 """Exhaustive FD discovery — the ground-truth oracle for small inputs.
 
-Checks every candidate ``X -> A`` by hashing rows on their ``X`` labels.
-Exponential in the number of attributes (``O(2^m * m * n)``), so it exists
-purely to validate the real algorithms on small relations in the test
-suite; it refuses schemas wide enough to be a mistake.
+Checks every candidate ``X -> A`` level by level through the execution
+context's batched validator: all non-dominated LHSs of one size share a
+``validate_many`` call, so group keys are folded once per LHS and the
+minimality pruning stays exact (two LHSs of equal size are never in a
+subset relation, so a level cannot dominate itself).  Exponential in the
+number of attributes (``O(2^m * m * n)``), so it exists purely to
+validate the real algorithms on small relations in the test suite; it
+refuses schemas wide enough to be a mistake.
 """
 
 from __future__ import annotations
 
 from ..core.result import DiscoveryResult, Stopwatch, make_result
 from ..fd import FD, attrset
-from ..relation.preprocess import preprocess
 from ..relation.relation import Relation
-from ..relation.validate import fd_holds
-from .base import register
+from .base import execution_context, register
 
 
 @register("bruteforce")
@@ -34,22 +36,36 @@ class BruteForce:
                 f"got {relation.num_columns}"
             )
         watch = Stopwatch()
-        data = preprocess(relation, self.null_equals_null)
-        num_attributes = data.num_columns
+        context = execution_context(relation, self.null_equals_null)
+        num_attributes = context.num_attributes
         fds: list[FD] = []
         checks = 0
         for rhs in range(num_attributes):
             others = attrset.universe(num_attributes) & ~attrset.singleton(rhs)
             valid_lhss: list[int] = []
             # Ascending cardinality so minimality reduces to a subset check
-            # against already-accepted LHSs.
-            candidates = sorted(attrset.all_subsets(others), key=attrset.size)
-            for lhs in candidates:
-                if any(attrset.is_subset(seen, lhs) for seen in valid_lhss):
+            # against already-accepted LHSs; one batched validation per
+            # lattice level.
+            by_size: dict[int, list[int]] = {}
+            for lhs in attrset.all_subsets(others):
+                by_size.setdefault(attrset.size(lhs), []).append(lhs)
+            for size in sorted(by_size):
+                batch = [
+                    lhs
+                    for lhs in sorted(by_size[size])
+                    if not any(
+                        attrset.is_subset(seen, lhs) for seen in valid_lhss
+                    )
+                ]
+                if not batch:
                     continue
-                checks += 1
-                if fd_holds(data, FD(lhs, rhs)):
-                    valid_lhss.append(lhs)
+                checks += len(batch)
+                outcomes = context.validate_many(
+                    [FD(lhs, rhs) for lhs in batch]
+                )
+                valid_lhss.extend(
+                    outcome.fd.lhs for outcome in outcomes if outcome.holds
+                )
             fds.extend(FD(lhs, rhs) for lhs in valid_lhss)
         return make_result(
             fds,

@@ -21,9 +21,8 @@ from __future__ import annotations
 
 from ..core.result import DiscoveryResult, Stopwatch, make_result
 from ..fd import FD, attrset
-from ..relation.preprocess import preprocess
 from ..relation.relation import Relation
-from .base import register
+from .base import execution_context, register
 from .fdep import compute_agree_masks
 
 
@@ -94,7 +93,7 @@ class DepMiner:
 
     def discover(self, relation: Relation) -> DiscoveryResult:
         watch = Stopwatch()
-        data = preprocess(relation, self.null_equals_null)
+        data = execution_context(relation, self.null_equals_null).data
         num_attributes = data.num_columns
         universe = attrset.universe(num_attributes)
         agree_masks = compute_agree_masks(data)

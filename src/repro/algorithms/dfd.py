@@ -27,12 +27,11 @@ from __future__ import annotations
 import random
 
 from ..core.result import DiscoveryResult, Stopwatch, make_result
+from ..engine import ExecutionContext
 from ..fd import FD, attrset
 from ..fd.lhs_index import BitsetLhsIndex
-from ..relation.preprocess import PreprocessedRelation, preprocess
 from ..relation.relation import Relation
-from ..relation.validate import fd_holds
-from .base import register
+from .base import execution_context, register
 from .depminer import minimal_transversals_levelwise
 
 
@@ -49,13 +48,13 @@ class Dfd:
 
     def discover(self, relation: Relation) -> DiscoveryResult:
         watch = Stopwatch()
-        data = preprocess(relation, self.null_equals_null)
-        num_attributes = data.num_columns
+        context = execution_context(relation, self.null_equals_null)
+        num_attributes = context.num_attributes
         rng = random.Random(self.seed)
         fds: list[FD] = []
         validations = 0
         for rhs in range(num_attributes):
-            walker = _LatticeWalker(data, rhs, num_attributes, rng)
+            walker = _LatticeWalker(context, rhs, num_attributes, rng)
             fds.extend(FD(lhs, rhs) for lhs in walker.minimal_dependencies())
             validations += walker.validations
         return make_result(
@@ -75,12 +74,12 @@ class _LatticeWalker:
 
     def __init__(
         self,
-        data: PreprocessedRelation,
+        context: ExecutionContext,
         rhs: int,
         num_attributes: int,
         rng: random.Random,
     ) -> None:
-        self.data = data
+        self.context = context
         self.rhs = rhs
         self.universe = attrset.universe(num_attributes) & ~attrset.singleton(rhs)
         self.rng = rng
@@ -98,7 +97,7 @@ class _LatticeWalker:
         cached = self._cache.get(lhs)
         if cached is None:
             self.validations += 1
-            cached = fd_holds(self.data, FD(lhs, self.rhs))
+            cached = self.context.fd_holds(FD(lhs, self.rhs))
             self._cache[lhs] = cached
         return cached
 

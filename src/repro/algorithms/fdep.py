@@ -20,9 +20,9 @@ from ..core.inversion import Inverter
 from ..core.result import DiscoveryResult, Stopwatch, make_result
 from ..fd import FD, NegativeCover, attrset
 from ..obs import span
-from ..relation.preprocess import PreprocessedRelation, preprocess
+from ..relation.preprocess import PreprocessedRelation
 from ..relation.relation import Relation
-from .base import register
+from .base import execution_context, register
 
 
 @register("fdep")
@@ -37,8 +37,7 @@ class Fdep:
 
     def discover(self, relation: Relation) -> DiscoveryResult:
         watch = Stopwatch()
-        with span("preprocess", relation=relation.name):
-            data = preprocess(relation, self.null_equals_null)
+        data = execution_context(relation, self.null_equals_null).data
         num_attributes = data.num_columns
         with span("agree_sets"):
             agree_masks = compute_agree_masks(data)

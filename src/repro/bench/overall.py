@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..datasets import registry
+from ..engine import ExecutionContext
 from ..metrics import fd_set_metrics
 from .runner import (
     AlgorithmRun,
@@ -69,6 +70,10 @@ def run_table3(
     for name in names:
         relation = registry.make(name, rows=rows)
         truth = truth_cache.truth_for(relation)
+        # One execution context per dataset: the preprocessed matrix and
+        # the partition cache span the whole algorithm matrix, so e.g.
+        # EulerFD's singleton partitions are hits after Tane ran.
+        context = ExecutionContext(relation)
         runs: dict[str, AlgorithmRun] = {}
         f1: dict[str, float | None] = {}
         for algo_name, factory in algorithms.items():
@@ -78,7 +83,7 @@ def run_table3(
             if algo_name == "Fdep" and relation.num_rows > skip_fdep_above_rows:
                 runs[algo_name] = AlgorithmRun(algo_name, None, None, skipped="TL")
                 continue
-            run = run_algorithm(factory, relation)
+            run = run_algorithm(factory, relation, context=context)
             runs[algo_name] = run
             if run.fds is not None:
                 f1[algo_name] = fd_set_metrics(run.fds, truth).f1

@@ -15,6 +15,7 @@ from typing import Any
 
 from ..algorithms import AidFd, EulerFD, Fdep, HyFD, Tane, TaneBudgetExceeded
 from ..core.result import DiscoveryResult
+from ..engine import Backend, ExecutionContext, use_context
 from ..fd import FD
 from ..metrics import fd_set_metrics, timed
 from ..obs import Recorder, RunTelemetry, recording
@@ -35,6 +36,11 @@ class AlgorithmRun:
     (``run_algorithm(..., trace=True)``); it carries the per-phase
     breakdown, counters and convergence series recorded by ``repro.obs``
     so benchmark tables can report *where* the seconds went.
+
+    ``backend`` names the execution-engine backend the run used, and
+    ``partition_cache`` holds this run's slice of the shared partition
+    store's traffic (hits/misses/derives/evictions deltas) — nonzero
+    hits on the second algorithm of a matrix are the cache paying off.
     """
 
     algorithm: str
@@ -43,6 +49,8 @@ class AlgorithmRun:
     skipped: str | None = None
     stats: dict[str, Any] = field(default_factory=dict)
     telemetry: RunTelemetry | None = None
+    backend: str | None = None
+    partition_cache: dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -70,6 +78,8 @@ def run_algorithm(
     relation: Relation,
     repeats: int = 1,
     trace: bool = False,
+    context: ExecutionContext | None = None,
+    backend: str | Backend | None = None,
 ) -> AlgorithmRun:
     """Run one algorithm, translating budget blow-ups into skip markers.
 
@@ -77,17 +87,44 @@ def run_algorithm(
     for the duration of the run and the resulting :class:`RunTelemetry`
     is attached to the returned row.  Tracing off is the default and
     leaves benchmark numbers untouched — no recorder, no events.
+
+    ``context`` installs a caller-owned :class:`ExecutionContext` for the
+    run — the way the table harnesses share one partition cache across a
+    whole algorithm matrix; without one, a private context is built here
+    (honoring ``backend``) so the row can still report backend name and
+    cache traffic.
     """
     algorithm = factory()
-    recorder = Recorder() if trace else None
+    if not trace:
+        return _execute(algorithm, relation, repeats, context, backend)
+    # The recorder goes on first so that, when the context is private,
+    # its preprocess span and cache counters land in the telemetry too.
+    with recording(Recorder()):
+        return _execute(algorithm, relation, repeats, context, backend)
+
+
+def _execute(
+    algorithm: Any,
+    relation: Relation,
+    repeats: int,
+    context: ExecutionContext | None,
+    backend: str | Backend | None,
+) -> AlgorithmRun:
+    if context is None:
+        context = ExecutionContext(relation, backend=backend)
+    before = context.partitions.stats()
     try:
-        if recorder is not None:
-            with recording(recorder):
-                run = timed(lambda: algorithm.discover(relation), repeats=repeats)
-        else:
+        with use_context(context):
             run = timed(lambda: algorithm.discover(relation), repeats=repeats)
     except TaneBudgetExceeded:
-        return AlgorithmRun(algorithm.name, None, None, skipped=SKIPPED_MEMORY)
+        return AlgorithmRun(
+            algorithm.name,
+            None,
+            None,
+            skipped=SKIPPED_MEMORY,
+            backend=context.backend.name,
+            partition_cache=_cache_delta(before, context.partitions.stats()),
+        )
     except MemoryError:  # pragma: no cover - depends on host limits
         return AlgorithmRun(algorithm.name, None, None, skipped=SKIPPED_MEMORY)
     result: DiscoveryResult = run.value
@@ -97,7 +134,16 @@ def run_algorithm(
         fds=result.fds,
         stats=result.stats,
         telemetry=result.telemetry,
+        backend=context.backend.name,
+        partition_cache=_cache_delta(before, context.partitions.stats()),
     )
+
+
+def _cache_delta(
+    before: dict[str, int], after: dict[str, int]
+) -> dict[str, int]:
+    """Partition-cache traffic attributable to one run of a shared store."""
+    return {key: after[key] - before.get(key, 0) for key in after}
 
 
 class GroundTruthCache:

@@ -39,13 +39,17 @@ def _sweep(
     points: Sequence[int],
     algorithms: dict[str, Callable[[], Any]],
 ) -> list[SweepPoint]:
+    from ..engine import ExecutionContext
     from .runner import run_algorithm
 
     series: list[SweepPoint] = []
     for x in points:
         relation = make_relation(x)
+        # One execution context per sweep point: every algorithm at this
+        # size shares the preprocessed matrix and partition cache.
+        context = ExecutionContext(relation)
         runs = {
-            name: run_algorithm(factory, relation)
+            name: run_algorithm(factory, relation, context=context)
             for name, factory in algorithms.items()
         }
         fd_count = None

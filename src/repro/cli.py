@@ -23,6 +23,7 @@ from collections.abc import Sequence
 from .algorithms import available_algorithms, create
 from .bench.runner import GroundTruthCache, format_cell, print_table
 from .datasets import registry
+from .engine import ExecutionContext, backend_names, use_context
 from .metrics import fd_set_metrics, timed
 from .obs import Recorder, chrome_trace, recording, summary_tree, to_jsonl, write_trace
 from .relation import read_csv, write_csv
@@ -49,6 +50,7 @@ def build_parser() -> argparse.ArgumentParser:
     discover.add_argument(
         "--json", action="store_true", help="emit the result as JSON"
     )
+    add_backend_argument(discover)
 
     profile = commands.add_parser(
         "profile", help="profile a CSV file: columns, keys, FDs"
@@ -69,6 +71,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--max-rows", type=int, default=None)
     compare.add_argument("--no-header", action="store_true")
     compare.add_argument("--delimiter", default=",")
+    add_backend_argument(compare)
 
     generate = commands.add_parser(
         "generate", help="write a registered benchmark dataset as CSV"
@@ -88,6 +91,26 @@ def build_parser() -> argparse.ArgumentParser:
     commands.add_parser("datasets", help="list registered benchmark datasets")
     commands.add_parser("algorithms", help="list available algorithms")
     return parser
+
+
+def add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    """The execution-engine ``--backend`` selector, shared by subcommands."""
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=backend_names(),
+        help=(
+            "execution-engine backend for partition/validation kernels "
+            "(default: $REPRO_BACKEND or numpy)"
+        ),
+    )
+
+
+def _engine_line(context: ExecutionContext) -> str:
+    """One-line engine report printed under text-mode command output."""
+    stats = context.partitions.stats()
+    traffic = ", ".join(f"{key} {value}" for key, value in stats.items())
+    return f"engine: backend={context.backend.name} partition-cache: {traffic}"
 
 
 def add_trace_arguments(parser: argparse.ArgumentParser) -> None:
@@ -113,6 +136,7 @@ def add_trace_arguments(parser: argparse.ArgumentParser) -> None:
         choices=("jsonl", "chrome", "summary"),
         help="trace flavor: raw JSONL events, Chrome trace JSON, or summary tree",
     )
+    add_backend_argument(parser)
 
 
 def _cmd_discover(args: argparse.Namespace) -> int:
@@ -122,7 +146,9 @@ def _cmd_discover(args: argparse.Namespace) -> int:
         delimiter=args.delimiter,
         max_rows=args.max_rows,
     )
-    result = create(args.algorithm).discover(relation)
+    context = ExecutionContext(relation, backend=args.backend)
+    with use_context(context):
+        result = create(args.algorithm).discover(relation)
     if args.json:
         print(result.to_json())
         return 0
@@ -131,6 +157,7 @@ def _cmd_discover(args: argparse.Namespace) -> int:
         print(" ", line)
     if args.limit is not None and len(result) > args.limit:
         print(f"  ... and {len(result) - args.limit} more")
+    print(_engine_line(context))
     return 0
 
 
@@ -154,25 +181,31 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         delimiter=args.delimiter,
         max_rows=args.max_rows,
     )
-    truth = GroundTruthCache().truth_for(relation)
-    rows = []
-    for key in args.algorithms:
-        run = timed(lambda: create(key).discover(relation))
-        metrics = fd_set_metrics(run.value.fds, truth)
-        rows.append(
-            [
-                run.value.algorithm,
-                format_cell(run.seconds),
-                str(len(run.value.fds)),
-                format_cell(metrics.f1),
-            ]
-        )
+    # One execution context for the whole comparison: the ground-truth
+    # oracle and every compared algorithm share the preprocessed matrix
+    # and partition cache.
+    context = ExecutionContext(relation, backend=args.backend)
+    with use_context(context):
+        truth = GroundTruthCache().truth_for(relation)
+        rows = []
+        for key in args.algorithms:
+            run = timed(lambda: create(key).discover(relation))
+            metrics = fd_set_metrics(run.value.fds, truth)
+            rows.append(
+                [
+                    run.value.algorithm,
+                    format_cell(run.seconds),
+                    str(len(run.value.fds)),
+                    format_cell(metrics.f1),
+                ]
+            )
     print_table(
         f"{relation.name} ({relation.num_rows}x{relation.num_columns}, "
         f"{len(truth)} true FDs)",
         ["Algorithm", "Time[s]", "FDs", "F1"],
         rows,
     )
+    print(_engine_line(context))
     return 0
 
 
@@ -196,7 +229,10 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     )
     recorder = Recorder()
     with recording(recorder):
-        result = create(args.algorithm).discover(relation)
+        # Context built inside the recording so the preprocess span and
+        # the engine.partition_cache.* counters land in the trace.
+        with use_context(ExecutionContext(relation, backend=args.backend)):
+            result = create(args.algorithm).discover(relation)
     if args.trace_out is not None:
         write_trace(recorder, args.trace_out, format=args.format)
         print(

@@ -21,9 +21,9 @@ all-unique relation would be mis-profiled.
 
 from __future__ import annotations
 
+from ..engine import acquire_context
 from ..fd import FD, NegativeCover
 from ..obs import point, span
-from ..relation.preprocess import preprocess
 from ..relation.relation import Relation
 from .config import EulerFDConfig
 from .inversion import Inverter
@@ -45,8 +45,8 @@ class EulerFD:
         """Run EulerFD on ``relation`` and return the discovered FDs."""
         watch = Stopwatch()
         config = self.config
-        with span("preprocess", relation=relation.name):
-            data = preprocess(relation, config.null_equals_null)
+        context = acquire_context(relation, config.null_equals_null)
+        data = context.data
         num_attributes = data.num_columns
 
         ncover = NegativeCover(num_attributes)
@@ -59,7 +59,9 @@ class EulerFD:
                 if ncover.add(non_fd):
                     pending.append(non_fd)
 
-        sampler = SamplingModule(data, config)
+        sampler = SamplingModule(
+            data, config, clusters=context.sampling_clusters(config.dedupe_clusters)
+        )
         cycles = 0
         rounds = 0
         inversions = 0

@@ -102,11 +102,26 @@ class RoundStats:
 class SamplingModule:
     """Stateful sampler shared by both cycles of EulerFD."""
 
-    def __init__(self, data: PreprocessedRelation, config: EulerFDConfig) -> None:
+    def __init__(
+        self,
+        data: PreprocessedRelation,
+        config: EulerFDConfig,
+        clusters: list[tuple[int, ...]] | None = None,
+    ) -> None:
         self.data = data
         self.config = config
         self._universe = attrset.universe(data.num_columns)
-        self._clusters = self._collect_clusters()
+        # The driver passes the execution context's shared (deduplicated)
+        # cluster list; standalone use falls back to collecting it here.
+        if clusters is None:
+            self._clusters = self._collect_clusters()
+        else:
+            self._clusters = [
+                ClusterState(
+                    rows, config.initial_window, config.retire_history
+                )
+                for rows in clusters
+            ]
         self._policy = config.mlfq
         self._queue: MultilevelFeedbackQueue[ClusterState] = MultilevelFeedbackQueue(
             self._policy

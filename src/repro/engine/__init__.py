@@ -1,0 +1,53 @@
+"""``repro.engine`` — the shared execution layer (DESIGN.md §8).
+
+One :class:`ExecutionContext` per relation mediates all partition and
+validation work behind a pluggable :class:`Backend`:
+
+* :class:`PartitionStore` — LRU-cached stripped partitions keyed by
+  attribute set, derived by partition product from the cheapest cached
+  parent pair instead of recomputed from columns;
+* :meth:`ExecutionContext.validate_many` — batched candidate validation
+  that folds group keys once per distinct LHS and reuses them across
+  RHSs;
+* :class:`NumpyBackend` / :class:`PythonBackend` — the vectorized
+  kernels and a pure-Python fallback, selectable per call, via
+  ``--backend`` on the CLIs, or the ``REPRO_BACKEND`` environment
+  variable.
+
+Callers running several algorithms over one dataset install a shared
+context with :func:`use_context`; ``discover(relation)`` implementations
+resolve it through :func:`acquire_context` and keep their signature.
+"""
+
+from .backends import (
+    BACKEND_ENV,
+    Backend,
+    NumpyBackend,
+    PythonBackend,
+    backend_names,
+    get_backend,
+)
+from .context import (
+    ExecutionContext,
+    Validation,
+    acquire_context,
+    current_context,
+    use_context,
+)
+from .store import DEFAULT_CACHE_SIZE, PartitionStore
+
+__all__ = [
+    "BACKEND_ENV",
+    "Backend",
+    "DEFAULT_CACHE_SIZE",
+    "ExecutionContext",
+    "NumpyBackend",
+    "PartitionStore",
+    "PythonBackend",
+    "Validation",
+    "acquire_context",
+    "backend_names",
+    "current_context",
+    "get_backend",
+    "use_context",
+]

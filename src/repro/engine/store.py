@@ -1,0 +1,187 @@
+"""The cached partition store (DESIGN.md §8).
+
+Stripped partitions are the workhorse of lattice-style discovery and the
+single most recomputed structure in the repo: Tane derives one per
+lattice node, the key-minimality checks re-refine against singletons,
+and repeated bench runs used to rebuild identical partitions from the
+columns every time.  :class:`PartitionStore` centralizes them:
+
+* **Keying** — one entry per attribute-set bitmask.  The empty set and
+  every singleton are *pinned*: they come straight from preprocessing,
+  cost nothing to keep, and anchor every derivation.
+* **Derivation** — a missing partition is never recomputed from the
+  columns.  It is derived by the stripped-partition product of the
+  cheapest cached parent pair: the largest cached subset of the target,
+  refined by the cheapest cached cover of the remaining attributes
+  (recursing toward singletons when no cover is cached).  This is
+  exactly Tane's level-to-level product when the parents are warm, and a
+  short product chain when they are not.
+* **Eviction** — a bounded LRU over the non-pinned entries.  Evicting
+  never loses correctness: a future request re-derives the partition
+  from whatever ancestors survived.
+
+Cache traffic is counted twice over: plain integers (:meth:`stats`, for
+telemetry rows with tracing off) and ``engine.partition_cache.{hit,miss,
+derive,evict}`` counters on the active obs recorder.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..fd import attrset
+from ..obs import counter
+from ..relation.partition import StrippedPartition
+from ..relation.preprocess import PreprocessedRelation
+
+DEFAULT_CACHE_SIZE = 4096
+"""Non-pinned entries kept before LRU eviction."""
+
+
+class PartitionStore:
+    """LRU-cached stripped partitions keyed by attribute-set bitmask."""
+
+    def __init__(
+        self,
+        data: PreprocessedRelation,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> None:
+        if cache_size < 1:
+            raise ValueError(f"cache_size must be positive, got {cache_size}")
+        self._data = data
+        self._cache_size = cache_size
+        num_rows = data.num_rows
+        # π(∅): one class holding every tuple (empty when it could not
+        # possibly violate anything, i.e. fewer than two rows).
+        empty = StrippedPartition(
+            [tuple(range(num_rows))] if num_rows > 1 else [], num_rows
+        )
+        self._pinned: dict[int, StrippedPartition] = {attrset.EMPTY: empty}
+        for attribute, partition in enumerate(data.stripped):
+            self._pinned[attrset.singleton(attribute)] = partition
+        self._cache: OrderedDict[int, StrippedPartition] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.derives = 0
+        self.evictions = 0
+
+    @property
+    def cache_size(self) -> int:
+        return self._cache_size
+
+    def __len__(self) -> int:
+        """Cached entries, pinned ones included."""
+        return len(self._pinned) + len(self._cache)
+
+    def __contains__(self, mask: int) -> bool:
+        return mask in self._pinned or mask in self._cache
+
+    def stats(self) -> dict[str, int]:
+        """Cache-traffic snapshot: hits, misses, derives, evictions."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "derives": self.derives,
+            "evictions": self.evictions,
+        }
+
+    # -- lookup ----------------------------------------------------------------
+
+    def get(self, mask: int) -> StrippedPartition:
+        """The stripped partition on ``mask``, cached or derived.
+
+        Mutates: self
+        """
+        pinned = self._pinned.get(mask)
+        if pinned is not None:
+            self.hits += 1
+            counter("engine.partition_cache.hit")
+            return pinned
+        cached = self._cache.get(mask)
+        if cached is not None:
+            self._cache.move_to_end(mask)
+            self.hits += 1
+            counter("engine.partition_cache.hit")
+            return cached
+        self.misses += 1
+        counter("engine.partition_cache.miss")
+        partition = self._derive(mask)
+        self._store(mask, partition)
+        return partition
+
+    def put(self, mask: int, partition: StrippedPartition) -> None:
+        """Deposit an externally computed partition (no derivation).
+
+        Mutates: self
+        """
+        if partition.num_rows != self._data.num_rows:
+            raise ValueError("partition over a different relation")
+        if mask in self._pinned:
+            return
+        self._store(mask, partition)
+
+    # -- derivation ------------------------------------------------------------
+
+    def _derive(self, mask: int) -> StrippedPartition:
+        """Product of the cheapest cached parent pair covering ``mask``."""
+        self.derives += 1
+        counter("engine.partition_cache.derive")
+        base_mask, base = self._largest_cached_subset(mask)
+        remainder = mask & ~base_mask
+        partner = self._cheapest_cover(mask, remainder)
+        if partner is None:
+            # No cached partition covers the remaining attributes in one
+            # piece; build it (recursively) and let it enter the cache.
+            partner = self.get(remainder)
+        return base.product(partner)
+
+    def _largest_cached_subset(
+        self, mask: int
+    ) -> tuple[int, StrippedPartition]:
+        """The cached strict subset of ``mask`` with the most attributes.
+
+        Ties break toward fewer grouped rows (the cheaper product
+        operand).  Singletons are pinned, so at least one subset always
+        exists for any non-empty mask.
+        """
+        best_mask = attrset.EMPTY
+        best = self._pinned[attrset.EMPTY]
+        best_key = (-1, 0)
+        for candidate_mask, candidate in self._iter_subsets_of(mask):
+            key = (attrset.size(candidate_mask), -candidate.num_grouped_rows)
+            if key > best_key:
+                best_key = key
+                best_mask = candidate_mask
+                best = candidate
+        return best_mask, best
+
+    def _cheapest_cover(
+        self, mask: int, remainder: int
+    ) -> StrippedPartition | None:
+        """The cheapest cached subset of ``mask`` containing ``remainder``."""
+        best: StrippedPartition | None = None
+        for candidate_mask, candidate in self._iter_subsets_of(mask):
+            if remainder & ~candidate_mask:
+                continue
+            if best is None or candidate.num_grouped_rows < best.num_grouped_rows:
+                best = candidate
+        return best
+
+    def _iter_subsets_of(self, mask: int):
+        """Every cached/pinned (sub_mask, partition) with sub_mask ⊂ mask."""
+        remaining = mask
+        while remaining:
+            bit = remaining & -remaining
+            remaining ^= bit
+            yield bit, self._pinned[bit]
+        for candidate_mask, candidate in self._cache.items():
+            if candidate_mask != mask and not candidate_mask & ~mask:
+                yield candidate_mask, candidate
+
+    def _store(self, mask: int, partition: StrippedPartition) -> None:
+        self._cache[mask] = partition
+        self._cache.move_to_end(mask)
+        while len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+            self.evictions += 1
+            counter("engine.partition_cache.evict")

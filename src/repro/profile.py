@@ -15,7 +15,7 @@ from .algorithms import Fdep
 from .algorithms.ucc import UccResult, discover_uccs
 from .core.eulerfd import EulerFD
 from .core.result import DiscoveryResult
-from .relation.preprocess import preprocess
+from .engine import acquire_context
 from .relation.relation import Relation
 
 
@@ -86,7 +86,7 @@ def profile_relation(
     ``exact_below_cells``, otherwise approximately with EulerFD — the
     same latency-driven trade-off DMS makes in production.
     """
-    data = preprocess(relation, null_equals_null)
+    data = acquire_context(relation, null_equals_null).data
     columns = []
     for index, name in enumerate(relation.column_names):
         cardinality = data.cardinality(index)

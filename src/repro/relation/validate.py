@@ -7,8 +7,15 @@ dense ``int64`` group key per row, and validity is two ``np.unique``
 calls — so validating the tens of thousands of candidates HyFD produces
 stays far from Python-loop speed.
 
-Used by HyFD's validation phase, the brute-force oracle, and the test
-suite's independent validity checks.
+Every fold step routes through :func:`fold_labels`, which re-densifies
+the keys whenever the next multiplication could overflow ``int64`` —
+including the final RHS fold, which historically skipped the guard and
+could silently wrap on wide, high-cardinality relations.
+
+These kernels are the numpy backend of the execution engine
+(:mod:`repro.engine`); algorithm code obtains them through an
+:class:`~repro.engine.context.ExecutionContext` rather than calling this
+module directly.
 """
 
 from __future__ import annotations
@@ -25,13 +32,35 @@ _FOLD_LIMIT = 1 << 62
 """Re-densify group keys before the fold could overflow int64."""
 
 
+def fold_labels(keys: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Fold one label column onto existing group keys, overflow-guarded.
+
+    Returns keys such that two rows share a key iff they shared one
+    before *and* agree on ``labels``.  When ``max(keys) * card(labels)``
+    could overflow ``int64``, the keys are first re-densified via
+    ``np.unique`` — the distinct-count structure is preserved, only the
+    key values shrink — so arbitrarily wide folds stay exact.
+
+    Pure: returns a fresh array; neither input is mutated.
+    """
+    cardinality = int(labels.max(initial=0)) + 1
+    bound = int(keys.max(initial=0)) + 1
+    if bound * cardinality >= _FOLD_LIMIT:
+        _, keys = np.unique(keys, return_inverse=True)
+        keys = keys.astype(np.int64, copy=False)
+        bound = int(keys.max(initial=0)) + 1
+        if bound * cardinality >= _FOLD_LIMIT:  # pragma: no cover
+            raise OverflowError("group key fold exceeded int64")
+    return keys * cardinality + labels
+
+
 def group_keys(data: PreprocessedRelation, lhs: int) -> np.ndarray:
     """Dense int64 group ids of each row's projection onto ``lhs``.
 
     Rows share an id iff they agree on every attribute of ``lhs``.  The
-    per-column labels are folded positionally (``key*card + label``);
-    whenever the value range would overflow, the keys are re-densified via
-    ``np.unique`` so arbitrarily wide LHSs stay exact.
+    per-column labels are folded positionally (``key*card + label``)
+    through the guarded :func:`fold_labels`, so arbitrarily wide LHSs
+    stay exact.
     """
     columns = list(attrset.to_indices(lhs))
     num_rows = data.num_rows
@@ -39,17 +68,40 @@ def group_keys(data: PreprocessedRelation, lhs: int) -> np.ndarray:
         return np.zeros(num_rows, dtype=np.int64)
     matrix = data.matrix
     keys = matrix[:, columns[0]].astype(np.int64)
-    bound = int(keys.max(initial=0)) + 1
     for column in columns[1:]:
-        cardinality = int(matrix[:, column].max(initial=0)) + 1
-        if bound * cardinality >= _FOLD_LIMIT:
-            _, keys = np.unique(keys, return_inverse=True)
-            bound = int(keys.max(initial=0)) + 1
-            if bound * cardinality >= _FOLD_LIMIT:  # pragma: no cover
-                raise OverflowError("group key fold exceeded int64")
-        keys = keys * cardinality + matrix[:, column]
-        bound *= cardinality
+        keys = fold_labels(keys, matrix[:, column])
     return keys
+
+
+def constant_within_groups(keys: np.ndarray, labels: np.ndarray) -> bool:
+    """True when every key group is constant on ``labels``.
+
+    This is FD validity given precomputed LHS group keys: fold the RHS
+    labels on (guarded) and compare distinct counts.
+
+    Pure: a read-only comparison of both arrays.
+    """
+    combined = fold_labels(keys, labels)
+    return np.unique(keys).size == np.unique(combined).size
+
+
+def violation_within_groups(
+    keys: np.ndarray, labels: np.ndarray
+) -> tuple[int, int] | None:
+    """A row pair sharing a key but differing on ``labels``, or None.
+
+    Pure: a read-only scan of both arrays.
+    """
+    if not constant_within_groups(keys, labels):
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        sorted_labels = labels[order]
+        adjacent = (sorted_keys[1:] == sorted_keys[:-1]) & (
+            sorted_labels[1:] != sorted_labels[:-1]
+        )
+        position = int(np.nonzero(adjacent)[0][0])
+        return int(order[position]), int(order[position + 1])
+    return None
 
 
 def fd_holds(data: PreprocessedRelation, fd: FD) -> bool:
@@ -58,9 +110,7 @@ def fd_holds(data: PreprocessedRelation, fd: FD) -> bool:
         return True
     keys = group_keys(data, fd.lhs)
     rhs = data.matrix[:, fd.rhs].astype(np.int64)
-    rhs_cardinality = int(rhs.max(initial=0)) + 1
-    combined = keys * rhs_cardinality + rhs
-    return np.unique(keys).size == np.unique(combined).size
+    return constant_within_groups(keys, rhs)
 
 
 def find_violation(data: PreprocessedRelation, fd: FD) -> tuple[int, int] | None:
@@ -73,15 +123,4 @@ def find_violation(data: PreprocessedRelation, fd: FD) -> tuple[int, int] | None
         return None
     keys = group_keys(data, fd.lhs)
     rhs = data.matrix[:, fd.rhs].astype(np.int64)
-    rhs_cardinality = int(rhs.max(initial=0)) + 1
-    combined = keys * rhs_cardinality + rhs
-    if np.unique(keys).size == np.unique(combined).size:
-        return None
-    order = np.argsort(keys, kind="stable")
-    sorted_keys = keys[order]
-    sorted_rhs = rhs[order]
-    adjacent = (sorted_keys[1:] == sorted_keys[:-1]) & (
-        sorted_rhs[1:] != sorted_rhs[:-1]
-    )
-    position = int(np.nonzero(adjacent)[0][0])
-    return int(order[position]), int(order[position + 1])
+    return violation_within_groups(keys, rhs)

@@ -411,7 +411,15 @@ class TestEndToEnd:
         assert untraced.telemetry is None
         traced = run_algorithm(factory, patient_relation, trace=True)
         assert traced.telemetry is not None
-        assert traced.telemetry.phase("discover/preprocess") is not None
+        # Preprocessing happens when the runner builds the execution
+        # context, before the run's telemetry slice starts; the run
+        # itself still carries the discover phases and the engine's
+        # cache counters.
+        assert traced.telemetry.phase("discover/cycle") is not None
+        from repro.engine import get_backend
+
+        assert traced.backend == get_backend().name
+        assert traced.partition_cache["hits"] > 0
         assert traced.fds == untraced.fds
 
 

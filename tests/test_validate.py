@@ -105,6 +105,61 @@ class TestFindViolation:
                     assert not (agree >> rhs) & 1  # differ on RHS
 
 
+class TestFoldOverflow:
+    """Regression: the RHS fold must carry the same guard as the LHS fold.
+
+    Historically ``fd_holds`` folded ``keys * rhs_cardinality + rhs``
+    without the ``_FOLD_LIMIT`` re-densify, so on wide high-cardinality
+    relations the product wrapped int64 and two distinct (key, rhs)
+    combinations could collide — making a violated FD look valid.
+    """
+
+    @staticmethod
+    def wide_relation():
+        # 61 LHS columns whose positional fold reaches 2**61 exactly, and
+        # an 8-label RHS: the unguarded fold computes 2**61 * 8 == 2**64,
+        # which wraps to 0 and collides with the key-0 group.  Values are
+        # introduced in increasing order so label == value.
+        width = 62
+        zeros = (0,) * 60
+        ones = (1,) * 60
+        rows = [
+            (0, *zeros, 0),  # key 0
+            (0, *zeros, 1),  # key 0  -> the one true violation
+            (1, *ones, 2),  # key 2**61 - 1
+            (2, *zeros, 1),  # key 2**61: wraps onto the row above's slot
+        ]
+        # fillers raising RHS cardinality to 8, each with a unique key
+        for i, rhs in enumerate((3, 4, 5, 6, 7)):
+            middle = [0] * 60
+            middle[i] = 1
+            rows.append((1, *middle, rhs))
+        return preprocess(Relation.from_rows(rows, [f"c{i}" for i in range(width)]))
+
+    def test_construction_is_in_the_overflow_regime(self):
+        data = self.wide_relation()
+        lhs = attrset.universe(61)
+        keys = group_keys(data, lhs)
+        assert int(keys.max()) == 2**61
+        rhs_cardinality = int(data.matrix[:, 61].max()) + 1
+        assert rhs_cardinality == 8
+        # the unguarded legacy fold really does collide: distinct counts
+        # come out equal even though the FD is violated
+        wrapped = keys * rhs_cardinality + data.matrix[:, 61]
+        assert np.unique(wrapped).size == np.unique(keys).size
+
+    def test_fd_holds_is_exact_despite_overflow(self):
+        data = self.wide_relation()
+        fd = FD(attrset.universe(61), 61)
+        assert not fd_holds(data, fd)
+        witness = find_violation(data, fd)
+        assert witness is not None
+        row_a, row_b = witness
+        agree = data.agree_mask(row_a, row_b)
+        assert fd.lhs & ~agree == 0
+        assert not (agree >> fd.rhs) & 1
+
+
 class TestAgainstNaive:
     @given(
         st.lists(
