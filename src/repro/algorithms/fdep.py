@@ -18,6 +18,7 @@ import numpy as np
 
 from ..core.inversion import Inverter
 from ..core.result import DiscoveryResult, Stopwatch, make_result
+from ..engine.parallel import WorkerPool, distinct_agree_masks_sharded
 from ..fd import FD, NegativeCover, attrset
 from ..obs import span
 from ..relation.preprocess import PreprocessedRelation
@@ -37,10 +38,11 @@ class Fdep:
 
     def discover(self, relation: Relation) -> DiscoveryResult:
         watch = Stopwatch()
-        data = execution_context(relation, self.null_equals_null).data
+        context = execution_context(relation, self.null_equals_null)
+        data = context.data
         num_attributes = data.num_columns
         with span("agree_sets"):
-            agree_masks = compute_agree_masks(data)
+            agree_masks = compute_agree_masks(data, pool=context.pool)
         ncover = NegativeCover(num_attributes)
         pending: list[FD] = []
         universe = attrset.universe(num_attributes)
@@ -74,7 +76,9 @@ class Fdep:
         )
 
 
-def compute_agree_masks(data: PreprocessedRelation) -> set[int]:
+def compute_agree_masks(
+    data: PreprocessedRelation, pool: WorkerPool | None = None
+) -> set[int]:
     """Distinct agree sets over all tuple pairs, as bitmasks.
 
     For each anchor row the label matrix is compared against every later
@@ -82,19 +86,29 @@ def compute_agree_masks(data: PreprocessedRelation) -> set[int]:
     into little-endian bytes so each pair's agree set materializes as a
     Python int without a per-attribute loop.
 
+    With a parallel ``pool``, anchor ranges fan out across the workers
+    and per-range results merge in range order; the merged set receives
+    new elements in exactly the serial scan's insertion sequence, so the
+    sweep is byte-identical at any worker count.
+
     The *full* agree set (mask of all attributes) is excluded: duplicate
     tuples violate nothing.
     """
     matrix = data.matrix
     num_rows, num_attributes = matrix.shape
     universe = attrset.universe(num_attributes)
-    masks: set[int] = set()
-    for anchor in range(num_rows - 1):
-        equal = matrix[anchor + 1 :] == matrix[anchor]
-        packed = np.packbits(equal, axis=1, bitorder="little")
-        row_bytes = packed.tobytes()
-        width = packed.shape[1]
-        for offset in range(0, len(row_bytes), width):
-            masks.add(int.from_bytes(row_bytes[offset : offset + width], "little"))
+    if pool is not None and not pool.is_serial:
+        masks = distinct_agree_masks_sharded(pool, data)
+    else:
+        masks = set()
+        for anchor in range(num_rows - 1):
+            equal = matrix[anchor + 1 :] == matrix[anchor]
+            packed = np.packbits(equal, axis=1, bitorder="little")
+            row_bytes = packed.tobytes()
+            width = packed.shape[1]
+            for offset in range(0, len(row_bytes), width):
+                masks.add(
+                    int.from_bytes(row_bytes[offset : offset + width], "little")
+                )
     masks.discard(universe)
     return masks

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from ..core.inversion import Inverter
 from ..core.result import DiscoveryResult, Stopwatch, make_result
+from ..engine.parallel import WorkerPool, agree_masks_sharded
 from ..fd import FD, NegativeCover, attrset
 from ..obs import counter, span
 from ..relation.preprocess import PreprocessedRelation
@@ -82,7 +83,8 @@ class HyFD:
             with span("sampling", phase=sampling_phases):
                 while True:
                     swept, novel = self._sweep(data, clusters, distance, ncover,
-                                               pending, seen, universe)
+                                               pending, seen, universe,
+                                               context.pool)
                     pairs_compared += swept
                     phase_pairs += swept
                     distance += 1
@@ -168,10 +170,31 @@ class HyFD:
         pending: list[FD],
         seen: dict[int, int],
         universe: int,
+        pool: WorkerPool | None = None,
     ) -> tuple[int, int]:
         """Compare all intra-cluster pairs at ``distance``; return (pairs, novel)."""
         swept = 0
         novel_total = 0
+        if pool is not None and not pool.is_serial:
+            # Parallel sweep: concatenate every cluster's pairs in cluster
+            # order and fan the one big comparison out across the pool.
+            # Mask order equals the serial per-cluster loop's, so the
+            # seen-dict and cover updates below replay identically.
+            rows_a: list[int] = []
+            rows_b: list[int] = []
+            for rows in clusters:
+                if len(rows) <= distance:
+                    continue
+                swept += len(rows) - distance
+                rows_a.extend(rows[:-distance])
+                rows_b.extend(rows[distance:])
+            masks = agree_masks_sharded(pool, data, rows_a, rows_b)
+            for agree in masks:
+                novel = (universe & ~agree) & ~seen.get(agree, 0)
+                if novel:
+                    novel_total += novel.bit_count()
+                    self._admit(agree, novel, ncover, pending, seen)
+            return swept, novel_total
         for rows in clusters:
             if len(rows) <= distance:
                 continue

@@ -17,6 +17,10 @@ RPR006    numpy constructions in ``relation/`` pin ``dtype=``
 RPR104    clock discipline — outside ``obs``/``metrics``, wall
           time comes from ``repro.obs`` (monotonic/Clock), not
           direct ``time.time()``/``time.perf_counter()`` calls
+RPR105    parallelism encapsulation — ``multiprocessing`` and
+          ``concurrent.futures`` are imported only by
+          ``engine/parallel.py`` and ``engine/shm.py``; everyone
+          else goes through the :class:`WorkerPool` API
 ========  =====================================================
 
 The whole-program rules (RPR101 import layering, RPR102 purity
@@ -496,6 +500,52 @@ class ClockDisciplineRule(Rule):
             )
 
 
+class ParallelismEncapsulationRule(Rule):
+    """RPR105 — concurrency primitives stay behind the worker pool.
+
+    The determinism guarantee of the parallel engine (fixed chunk plans,
+    merge by chunk index, stateful merges on the coordinator) only holds
+    because every fan-out goes through :class:`repro.engine.WorkerPool`.
+    A stray ``ProcessPoolExecutor`` in an algorithm would reintroduce
+    completion-order nondeterminism and dodge the pool's shared-memory
+    lifecycle and telemetry, so raw ``multiprocessing`` /
+    ``concurrent.futures`` imports are confined to the two modules that
+    implement the pool: ``engine/parallel.py`` and ``engine/shm.py``.
+    """
+
+    code = "RPR105"
+    name = "parallelism-encapsulation"
+    rationale = (
+        "raw multiprocessing/concurrent.futures imports outside "
+        "engine/parallel.py and engine/shm.py bypass the worker pool's "
+        "determinism and shared-memory lifecycle guarantees"
+    )
+    interests = (ast.Import, ast.ImportFrom)
+
+    _ALLOWED_FILES = ("engine/parallel.py", "engine/shm.py")
+    _FORBIDDEN_ROOTS = frozenset({"multiprocessing", "concurrent"})
+
+    def visit(self, node: ast.AST, module: Module) -> Iterator[Finding]:
+        if module.relpath.endswith(self._ALLOWED_FILES):
+            return
+        if isinstance(node, ast.Import):
+            names = [alias.name for alias in node.names]
+        else:
+            assert isinstance(node, ast.ImportFrom)
+            if node.level >= 1 or node.module is None:
+                return  # relative imports never reach the stdlib
+            names = [node.module]
+        for name in names:
+            if name.partition(".")[0] in self._FORBIDDEN_ROOTS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"import of {name!r} outside the parallel engine; use "
+                    "repro.engine.WorkerPool (get_pool/--jobs) so fan-out "
+                    "stays deterministic and pooled",
+                )
+
+
 def _build_export_map(base: Path) -> dict[str, set[str]]:
     """Map module relpaths to the function names packages export.
 
@@ -614,5 +664,6 @@ def default_rules() -> list[Rule]:
         PublicApiAnnotationRule(),
         NumpyDtypeRule(),
         ClockDisciplineRule(),
+        ParallelismEncapsulationRule(),
         *default_project_rules(),
     ]

@@ -15,7 +15,15 @@ from typing import Any
 
 from ..algorithms import AidFd, EulerFD, Fdep, HyFD, Tane, TaneBudgetExceeded
 from ..core.result import DiscoveryResult
-from ..engine import Backend, ExecutionContext, use_context
+from ..engine import (
+    Backend,
+    ExecutionContext,
+    PoolSpec,
+    WorkerPool,
+    get_pool,
+    run_cells_sharded,
+    use_context,
+)
 from ..fd import FD
 from ..metrics import fd_set_metrics, timed
 from ..obs import Recorder, RunTelemetry, recording
@@ -41,6 +49,12 @@ class AlgorithmRun:
     ``partition_cache`` holds this run's slice of the shared partition
     store's traffic (hits/misses/derives/evictions deltas) — nonzero
     hits on the second algorithm of a matrix are the cache paying off.
+
+    ``jobs`` is the worker count of the run's pool (1 for serial) and
+    ``parallel_efficiency`` is the run's worker busy time divided by
+    ``wall × jobs`` — 1.0 means every worker was saturated for the whole
+    run, small values mean the serial coordinator dominated.  ``None``
+    on serial runs and runs whose pool never dispatched a chunk.
     """
 
     algorithm: str
@@ -51,6 +65,8 @@ class AlgorithmRun:
     telemetry: RunTelemetry | None = None
     backend: str | None = None
     partition_cache: dict[str, int] = field(default_factory=dict)
+    jobs: int = 1
+    parallel_efficiency: float | None = None
 
     @property
     def ok(self) -> bool:
@@ -80,6 +96,7 @@ def run_algorithm(
     trace: bool = False,
     context: ExecutionContext | None = None,
     backend: str | Backend | None = None,
+    jobs: int | str | PoolSpec | WorkerPool | None = None,
 ) -> AlgorithmRun:
     """Run one algorithm, translating budget blow-ups into skip markers.
 
@@ -91,16 +108,16 @@ def run_algorithm(
     ``context`` installs a caller-owned :class:`ExecutionContext` for the
     run — the way the table harnesses share one partition cache across a
     whole algorithm matrix; without one, a private context is built here
-    (honoring ``backend``) so the row can still report backend name and
-    cache traffic.
+    (honoring ``backend`` and ``jobs``) so the row can still report
+    backend name, cache traffic and parallel efficiency.
     """
     algorithm = factory()
     if not trace:
-        return _execute(algorithm, relation, repeats, context, backend)
+        return _execute(algorithm, relation, repeats, context, backend, jobs)
     # The recorder goes on first so that, when the context is private,
     # its preprocess span and cache counters land in the telemetry too.
     with recording(Recorder()):
-        return _execute(algorithm, relation, repeats, context, backend)
+        return _execute(algorithm, relation, repeats, context, backend, jobs)
 
 
 def _execute(
@@ -109,11 +126,15 @@ def _execute(
     repeats: int,
     context: ExecutionContext | None,
     backend: str | Backend | None,
+    jobs: int | str | PoolSpec | WorkerPool | None = None,
 ) -> AlgorithmRun:
     if context is None:
-        context = ExecutionContext(relation, backend=backend)
-    before = context.partitions.stats()
+        context = ExecutionContext(relation, backend=backend, jobs=jobs)
+    pool = context.pool
+    busy_before = pool.busy_seconds
+    chunks_before = pool.chunks_dispatched
     try:
+        before = context.partitions.stats()
         with use_context(context):
             run = timed(lambda: algorithm.discover(relation), repeats=repeats)
     except TaneBudgetExceeded:
@@ -124,9 +145,12 @@ def _execute(
             skipped=SKIPPED_MEMORY,
             backend=context.backend.name,
             partition_cache=_cache_delta(before, context.partitions.stats()),
+            jobs=pool.jobs,
         )
     except MemoryError:  # pragma: no cover - depends on host limits
-        return AlgorithmRun(algorithm.name, None, None, skipped=SKIPPED_MEMORY)
+        return AlgorithmRun(
+            algorithm.name, None, None, skipped=SKIPPED_MEMORY, jobs=pool.jobs
+        )
     result: DiscoveryResult = run.value
     return AlgorithmRun(
         algorithm=result.algorithm,
@@ -136,7 +160,31 @@ def _execute(
         telemetry=result.telemetry,
         backend=context.backend.name,
         partition_cache=_cache_delta(before, context.partitions.stats()),
+        jobs=pool.jobs,
+        parallel_efficiency=_efficiency(
+            pool,
+            busy_before,
+            chunks_before,
+            sum(run.all_seconds),
+        ),
     )
+
+
+def _efficiency(
+    pool: WorkerPool,
+    busy_before: float,
+    chunks_before: int,
+    wall_seconds: float,
+) -> float | None:
+    """Worker busy time over ``wall × jobs`` for one run's pool traffic.
+
+    Pure: reads the pool's counters against the captured baselines.
+    """
+    if pool.is_serial or wall_seconds <= 0:
+        return None
+    if pool.chunks_dispatched == chunks_before:
+        return None  # every batch fell below the dispatch thresholds
+    return (pool.busy_seconds - busy_before) / (wall_seconds * pool.jobs)
 
 
 def _cache_delta(
@@ -144,6 +192,58 @@ def _cache_delta(
 ) -> dict[str, int]:
     """Partition-cache traffic attributable to one run of a shared store."""
     return {key: after[key] - before.get(key, 0) for key in after}
+
+
+def _run_cell(payload: tuple[str, Relation, str | None]) -> AlgorithmRun:
+    """Worker: one (algorithm × relation) matrix cell in a private context.
+
+    The cell's own context is explicitly serial — matrix cells are the
+    unit of fan-out here, and nesting a second pool inside a process
+    worker would oversubscribe the host without helping determinism.
+    """
+    key, relation, backend = payload
+    factory = default_algorithms()[key]
+    context = ExecutionContext(relation, backend=backend, jobs="serial")
+    return run_algorithm(factory, relation, context=context)
+
+
+def run_matrix(
+    relations: Sequence[Relation],
+    algorithms: Sequence[str] | None = None,
+    jobs: int | str | PoolSpec | WorkerPool | None = None,
+    backend: str | None = None,
+) -> dict[tuple[str, str], AlgorithmRun]:
+    """Run every (algorithm × relation) cell, optionally across a pool.
+
+    The coarse-grained counterpart to kernel sharding: cells are fully
+    independent (each builds a private, serial execution context), so a
+    parallel ``jobs`` spec fans whole cells out to the workers while the
+    returned mapping — keyed ``(algorithm, relation.name)`` — is always
+    assembled in cell-definition order, independent of completion order.
+
+    ``algorithms`` selects keys of :func:`default_algorithms` (all five,
+    in the paper's column order, when omitted).  ``backend`` must be a
+    backend *name* here, never an instance: cells may cross a process
+    boundary and ship only picklable payloads.
+    """
+    if algorithms is None:
+        algorithms = list(default_algorithms())
+    else:
+        known = default_algorithms()
+        for key in algorithms:
+            if key not in known:
+                raise KeyError(f"unknown algorithm {key!r}")
+    cells = [
+        (key, relation, backend)
+        for relation in relations
+        for key in algorithms
+    ]
+    pool = get_pool(jobs)
+    runs = run_cells_sharded(pool, _run_cell, cells)
+    return {
+        (key, relation.name): run
+        for (key, relation, _), run in zip(cells, runs)
+    }
 
 
 class GroundTruthCache:

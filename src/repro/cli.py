@@ -104,13 +104,27 @@ def add_backend_argument(parser: argparse.ArgumentParser) -> None:
             "(default: $REPRO_BACKEND or numpy)"
         ),
     )
+    parser.add_argument(
+        "--jobs",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "worker pool for pair-sampling and validation: N or "
+            "process:N for a process pool, thread:N for threads, serial "
+            "to force the inline path (default: $REPRO_JOBS or serial)"
+        ),
+    )
 
 
 def _engine_line(context: ExecutionContext) -> str:
     """One-line engine report printed under text-mode command output."""
     stats = context.partitions.stats()
     traffic = ", ".join(f"{key} {value}" for key, value in stats.items())
-    return f"engine: backend={context.backend.name} partition-cache: {traffic}"
+    line = f"engine: backend={context.backend.name}"
+    pool = context.pool
+    if not pool.is_serial:
+        line += f" jobs={pool.kind}:{pool.jobs}"
+    return f"{line} partition-cache: {traffic}"
 
 
 def add_trace_arguments(parser: argparse.ArgumentParser) -> None:
@@ -146,7 +160,7 @@ def _cmd_discover(args: argparse.Namespace) -> int:
         delimiter=args.delimiter,
         max_rows=args.max_rows,
     )
-    context = ExecutionContext(relation, backend=args.backend)
+    context = ExecutionContext(relation, backend=args.backend, jobs=args.jobs)
     with use_context(context):
         result = create(args.algorithm).discover(relation)
     if args.json:
@@ -184,7 +198,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     # One execution context for the whole comparison: the ground-truth
     # oracle and every compared algorithm share the preprocessed matrix
     # and partition cache.
-    context = ExecutionContext(relation, backend=args.backend)
+    context = ExecutionContext(relation, backend=args.backend, jobs=args.jobs)
     with use_context(context):
         truth = GroundTruthCache().truth_for(relation)
         rows = []
@@ -231,7 +245,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     with recording(recorder):
         # Context built inside the recording so the preprocess span and
         # the engine.partition_cache.* counters land in the trace.
-        with use_context(ExecutionContext(relation, backend=args.backend)):
+        with use_context(
+            ExecutionContext(relation, backend=args.backend, jobs=args.jobs)
+        ):
             result = create(args.algorithm).discover(relation)
     if args.trace_out is not None:
         write_trace(recorder, args.trace_out, format=args.format)

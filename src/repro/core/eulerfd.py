@@ -60,7 +60,10 @@ class EulerFD:
                     pending.append(non_fd)
 
         sampler = SamplingModule(
-            data, config, clusters=context.sampling_clusters(config.dedupe_clusters)
+            data,
+            config,
+            clusters=context.sampling_clusters(config.dedupe_clusters),
+            pool=context.pool,
         )
         cycles = 0
         rounds = 0

@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Any
 
 from ..algorithms.fdep import compute_agree_masks
+from ..engine.parallel import WorkerPool, agree_masks_sharded, get_pool
 from ..fd import FD, NegativeCover, attrset
 from ..obs import counter, span
 from ..relation.preprocess import preprocess
@@ -45,9 +46,11 @@ class IncrementalEulerFD:
         relation: Relation,
         config: EulerFDConfig | None = None,
         exhaustive_base: bool = False,
+        jobs: int | str | WorkerPool | None = None,
     ) -> None:
         self.config = config if config is not None else EulerFDConfig()
         self.exhaustive_base = exhaustive_base
+        self.pool = jobs if isinstance(jobs, WorkerPool) else get_pool(jobs)
         self._columns: list[list[Any]] = [
             list(column) for column in relation.columns
         ]
@@ -104,11 +107,11 @@ class IncrementalEulerFD:
             pending: list[FD] = []
             self._seed_empty_lhs(data, pending)
             if self.exhaustive_base:
-                for agree in compute_agree_masks(data):
+                for agree in compute_agree_masks(data, pool=self.pool):
                     self._admit(agree, self._universe & ~agree, pending)
                 self.pairs_compared += data.num_rows * (data.num_rows - 1) // 2
             else:
-                sampler = SamplingModule(data, self.config)
+                sampler = SamplingModule(data, self.config, pool=self.pool)
                 while sampler.has_more():
                     violations, stats = sampler.run_pass()
                     if stats.pairs_compared == 0:
@@ -160,15 +163,18 @@ class IncrementalEulerFD:
         self.pairs_compared += len(rows_a)
         counter("incremental.pairs_compared", len(rows_a))
         if rows_a:
-            for agree in data.agree_masks_bulk(rows_a, rows_b):
+            for agree in agree_masks_sharded(self.pool, data, rows_a, rows_b):
                 self._admit(agree, self._universe & ~agree, pending)
         return pending
 
     def _admit(self, agree: int, rhs_mask: int, pending: list[FD]) -> None:
-        novel = rhs_mask & ~self._seen.get(agree, 0)
+        # Single seen-dict lookup: the admit path runs once per sampled
+        # mask, so the doubled .get() it used to do was pure overhead.
+        prior = self._seen.get(agree, 0)
+        novel = rhs_mask & ~prior
         if not novel:
             return
-        self._seen[agree] = self._seen.get(agree, 0) | novel
+        self._seen[agree] = prior | novel
         remaining = novel
         while remaining:
             bit = remaining & -remaining

@@ -28,6 +28,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+from ..engine.parallel import WorkerPool, agree_masks_sharded
 from ..fd import attrset
 from ..obs import counter, gauge
 from ..relation.preprocess import PreprocessedRelation
@@ -107,9 +108,13 @@ class SamplingModule:
         data: PreprocessedRelation,
         config: EulerFDConfig,
         clusters: list[tuple[int, ...]] | None = None,
+        pool: WorkerPool | None = None,
     ) -> None:
         self.data = data
         self.config = config
+        # The execution context's worker pool; None (standalone use)
+        # means the serial agree-mask kernel, exactly as before.
+        self._pool = pool
         self._universe = attrset.universe(data.num_columns)
         # The driver passes the execution context's shared (deduplicated)
         # cluster list; standalone use falls back to collecting it here.
@@ -260,10 +265,17 @@ class SamplingModule:
         seen = self._seen
         rows_a = [rows[i] for i in positions]
         rows_b = [rows[i + window - 1] for i in positions]
-        for agree in self.data.agree_masks_bulk(rows_a, rows_b):
-            novel = (self._universe & ~agree) & ~seen.get(agree, 0)
+        if self._pool is not None:
+            masks = agree_masks_sharded(self._pool, self.data, rows_a, rows_b)
+        else:
+            masks = self.data.agree_masks_bulk(rows_a, rows_b)
+        for agree in masks:
+            # Single seen-dict lookup per mask: the update reuses the
+            # read (benchmarks/record_baseline.py times this micro-win).
+            prior = seen.get(agree, 0)
+            novel = (self._universe & ~agree) & ~prior
             if novel:
-                seen[agree] = seen.get(agree, 0) | novel
+                seen[agree] = prior | novel
                 new_count += novel.bit_count()
                 out.append((agree, novel))
         stats.pairs_compared += num_positions

@@ -12,7 +12,14 @@ validation work behind a pluggable :class:`Backend`:
 * :class:`NumpyBackend` / :class:`PythonBackend` — the vectorized
   kernels and a pure-Python fallback, selectable per call, via
   ``--backend`` on the CLIs, or the ``REPRO_BACKEND`` environment
-  variable.
+  variable;
+* :class:`WorkerPool` (:mod:`repro.engine.parallel`) — sharded
+  pair-sampling and validation across serial/thread/process executors,
+  selected via ``--jobs`` on the CLIs or the ``REPRO_JOBS`` environment
+  variable, with the label matrix shipped to process workers once over
+  shared memory (:mod:`repro.engine.shm`); chunk plans are fixed and
+  merges happen by chunk index, so results are byte-identical at any
+  worker count.
 
 Callers running several algorithms over one dataset install a shared
 context with :func:`use_context`; ``discover(relation)`` implementations
@@ -34,6 +41,17 @@ from .context import (
     current_context,
     use_context,
 )
+from .parallel import (
+    JOBS_ENV,
+    PoolSpec,
+    WorkerPool,
+    agree_masks_sharded,
+    close_all_pools,
+    distinct_agree_masks_sharded,
+    get_pool,
+    resolve_spec,
+    run_cells_sharded,
+)
 from .store import DEFAULT_CACHE_SIZE, PartitionStore
 
 __all__ = [
@@ -41,13 +59,22 @@ __all__ = [
     "Backend",
     "DEFAULT_CACHE_SIZE",
     "ExecutionContext",
+    "JOBS_ENV",
     "NumpyBackend",
     "PartitionStore",
+    "PoolSpec",
     "PythonBackend",
     "Validation",
+    "WorkerPool",
     "acquire_context",
+    "agree_masks_sharded",
     "backend_names",
+    "close_all_pools",
     "current_context",
+    "distinct_agree_masks_sharded",
     "get_backend",
+    "get_pool",
+    "resolve_spec",
+    "run_cells_sharded",
     "use_context",
 ]

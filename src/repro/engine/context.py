@@ -31,6 +31,13 @@ from ..relation.partition import StrippedPartition
 from ..relation.preprocess import PreprocessedRelation, preprocess
 from ..relation.relation import Relation
 from .backends import Backend, get_backend
+from .parallel import (
+    MIN_GROUPS_PER_WORKER,
+    PoolSpec,
+    WorkerPool,
+    get_pool,
+    validate_groups_sharded,
+)
 from .store import DEFAULT_CACHE_SIZE, PartitionStore
 
 
@@ -58,8 +65,10 @@ class ExecutionContext:
         backend: str | Backend | None = None,
         null_equals_null: bool = True,
         cache_size: int = DEFAULT_CACHE_SIZE,
+        jobs: int | str | PoolSpec | WorkerPool | None = None,
     ) -> None:
         self.backend = get_backend(backend)
+        self.pool = jobs if isinstance(jobs, WorkerPool) else get_pool(jobs)
         self.null_equals_null = null_equals_null
         with span("preprocess", relation=relation.name):
             self.data: PreprocessedRelation = preprocess(
@@ -145,6 +154,11 @@ class ExecutionContext:
         RHSs — the batched replacement for per-FD ``fd_holds`` loops.
         Results come back in input order.  With ``witnesses=True`` each
         invalid candidate carries a violating row pair.
+
+        On a parallel context (``jobs``), distinct-LHS groups are
+        partitioned across the worker pool in sorted order and merged by
+        chunk index; a group never straddles workers, so fold counts,
+        outcomes and witnesses are identical to the serial path.
         """
         fds = list(fds)
         results: list[Validation | None] = [None] * len(fds)
@@ -154,23 +168,37 @@ class ExecutionContext:
                     results[index] = Validation(fd, True)
                 return [v for v in results if v is not None]
             order = sorted(range(len(fds)), key=lambda i: (fds[i].lhs, fds[i].rhs))
-            current_lhs: int | None = None
-            keys: object = None
-            folds = 0
+            # Distinct-LHS groups in sorted order: the unit of key-fold
+            # reuse, and the unit the worker pool shards by.
+            groups: list[tuple[int, list[tuple[int, int]]]] = []
             for index in order:
                 fd = fds[index]
-                if fd.lhs != current_lhs:
-                    keys = self.backend.group_keys(self.data, fd.lhs)
-                    current_lhs = fd.lhs
-                    folds += 1
-                if witnesses:
-                    pair = self.backend.witness(self.data, keys, fd.rhs)
-                    results[index] = Validation(fd, pair is None, pair)
-                else:
-                    holds = self.backend.constant_on(self.data, keys, fd.rhs)
-                    results[index] = Validation(fd, holds)
+                if not groups or groups[-1][0] != fd.lhs:
+                    groups.append((fd.lhs, []))
+                groups[-1][1].append((index, fd.rhs))
+            pool = self.pool
+            if (
+                not pool.is_serial
+                and len(groups) >= pool.jobs * MIN_GROUPS_PER_WORKER
+            ):
+                for index, holds, pair in validate_groups_sharded(
+                    pool, self.data, self.backend.name, groups, witnesses
+                ):
+                    results[index] = Validation(
+                        fds[index], holds, pair if witnesses else None
+                    )
+            else:
+                for lhs, members in groups:
+                    keys = self.backend.group_keys(self.data, lhs)
+                    for index, rhs in members:
+                        if witnesses:
+                            pair = self.backend.witness(self.data, keys, rhs)
+                            results[index] = Validation(fds[index], pair is None, pair)
+                        else:
+                            holds = self.backend.constant_on(self.data, keys, rhs)
+                            results[index] = Validation(fds[index], holds)
             counter("engine.validate.candidates", len(fds))
-            counter("engine.validate.lhs_folds", folds)
+            counter("engine.validate.lhs_folds", len(groups))
         return [v for v in results if v is not None]
 
     def __repr__(self) -> str:

@@ -1,0 +1,545 @@
+"""The worker pool: sharded pair-sampling and validation (DESIGN.md §9).
+
+Every hot loop of the reproduction — cluster pair-sampling, the Fdep and
+incremental agree-set sweeps, batched candidate validation, the bench
+matrix — is embarrassingly parallel *inside one step* while the control
+loop around it (MLFQ scheduling, capa feedback, the seen-dict, growth
+rates) must stay sequential for the paper's results to replicate.  This
+module supplies exactly that split: a :class:`WorkerPool` executes
+deterministic chunk plans, and the coordinator keeps every stateful
+merge.
+
+Determinism is structural, not best-effort:
+
+* chunks are cut in fixed order (:func:`chunk_ranges` /
+  :func:`chunk_pairs` are pure functions of the input sizes);
+* results are merged **by chunk index**, never by completion order;
+* all scheduling state (MLFQ, capa, seen-dicts, covers) lives on the
+  coordinator and consumes merged results in the same order the serial
+  code would produce them.
+
+Hence FD sets, run statistics and witnesses are byte-identical at any
+worker count — the property the cross-worker determinism suite pins.
+
+Execution modes, selected via ``--jobs`` on the CLIs or ``$REPRO_JOBS``:
+
+========================  ====================================================
+``serial`` / ``1`` / unset  no executor, plain loop — the default; behaviour
+                            (including traces) is bit-for-bit the pre-parallel
+                            code path
+``N`` / ``process:N``       ``ProcessPoolExecutor`` with N workers; the label
+                            matrix ships once via shared memory
+                            (:mod:`repro.engine.shm`), tasks carry only row
+                            indices
+``thread:N``                ``ThreadPoolExecutor`` with N workers; no matrix
+                            shipping (shared address space), useful where the
+                            kernels release the GIL or processes are banned
+========================  ====================================================
+
+Pools are cached per spec (:func:`get_pool`) so repeated contexts reuse
+one executor, and every pool is closed at interpreter exit — shutting
+down executors and unlinking published shared-memory segments.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import weakref
+from collections.abc import Callable, Sequence
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any
+
+from ..obs import counter, monotonic, span
+from ..relation.preprocess import (
+    agree_masks_from_matrix,
+    distinct_agree_masks_range,
+)
+from .shm import MatrixView, publish_matrix, resolve_matrix
+
+JOBS_ENV = "REPRO_JOBS"
+"""Environment variable supplying the default worker-pool spec."""
+
+SERIAL = "serial"
+THREAD = "thread"
+PROCESS = "process"
+
+MIN_PAIRS_PER_WORKER = 4096
+"""Pairs below jobs × this run serially — chunk dispatch would dominate."""
+
+MIN_GROUPS_PER_WORKER = 8
+"""Distinct-LHS groups below jobs × this validate serially."""
+
+CHUNKS_PER_WORKER = 4
+"""Over-partitioning factor: more chunks than workers evens out skew."""
+
+
+@dataclass(frozen=True)
+class PoolSpec:
+    """Parsed worker-pool configuration: executor kind plus worker count."""
+
+    kind: str
+    jobs: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in (SERIAL, THREAD, PROCESS):
+            raise ValueError(f"unknown pool kind {self.kind!r}")
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be positive, got {self.jobs}")
+        if self.kind == SERIAL and self.jobs != 1:
+            raise ValueError("serial pools have exactly one (inline) worker")
+
+    @property
+    def is_serial(self) -> bool:
+        return self.kind == SERIAL
+
+    @classmethod
+    def parse(cls, spec: "int | str | PoolSpec | None") -> "PoolSpec":
+        """Normalize a ``--jobs`` / ``$REPRO_JOBS`` value.
+
+        ``None``, ``""``, ``"serial"`` and ``1`` mean serial; a bare
+        number means a process pool with that many workers; ``kind:N``
+        selects the executor explicitly (``thread:4``, ``process:2``).
+
+        Pure: builds a fresh spec from the value.
+        """
+        if isinstance(spec, PoolSpec):
+            return spec
+        if spec is None:
+            return cls(SERIAL, 1)
+        if isinstance(spec, int):
+            return cls(SERIAL, 1) if spec == 1 else cls(PROCESS, spec)
+        text = spec.strip().lower()
+        if text in ("", SERIAL):
+            return cls(SERIAL, 1)
+        if ":" in text:
+            kind, count = text.split(":", 1)
+            return cls(kind, int(count))
+        if text in (THREAD, PROCESS):
+            return cls(text, max(os.cpu_count() or 1, 2))
+        return cls.parse(int(text))
+
+
+def resolve_spec(jobs: "int | str | PoolSpec | None" = None) -> PoolSpec:
+    """Resolution order: explicit argument, ``$REPRO_JOBS``, serial.
+
+    Pure: reads the environment only.
+    """
+    if jobs is not None:
+        return PoolSpec.parse(jobs)
+    return PoolSpec.parse(os.environ.get(JOBS_ENV) or None)
+
+
+# -- deterministic chunk plans -------------------------------------------------
+
+
+def chunk_ranges(total: int, chunks: int) -> list[tuple[int, int]]:
+    """Split ``range(total)`` into at most ``chunks`` contiguous ranges.
+
+    Earlier ranges are never smaller than later ones and the
+    concatenation of all ranges is exactly ``range(total)`` in order —
+    the fixed chunk order every parallel kernel merges by.
+
+    Pure: arithmetic on the two sizes only.
+    """
+    chunks = max(1, min(chunks, total)) if total else 0
+    ranges: list[tuple[int, int]] = []
+    start = 0
+    for index in range(chunks):
+        size = total // chunks + (1 if index < total % chunks else 0)
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+def chunk_pairs(
+    rows_a: Sequence[int], rows_b: Sequence[int], chunks: int
+) -> list[tuple[Sequence[int], Sequence[int]]]:
+    """Cut a tuple-pair list into contiguous chunks, preserving order.
+
+    Pure: slices the inputs; neither sequence is mutated.
+    """
+    return [
+        (rows_a[start:stop], rows_b[start:stop])
+        for start, stop in chunk_ranges(len(rows_a), chunks)
+    ]
+
+
+def merge_chunked(results: Sequence[list]) -> list:
+    """Concatenate per-chunk result lists in chunk-index order.
+
+    Pure: builds a fresh list from the chunk results.
+    """
+    merged: list = []
+    for chunk in results:
+        merged.extend(chunk)
+    return merged
+
+
+# -- worker-side entry points --------------------------------------------------
+#
+# Module-level functions so process executors pickle them by reference.
+# Each returns ``(payload, busy_seconds)``; the busy time aggregates into
+# the coordinator's ``engine.parallel.busy_seconds`` counter and the
+# pool's ``parallel_efficiency`` statistic.
+
+
+def _timed(fn: Callable[..., Any], *args: Any) -> tuple[Any, float]:
+    start = monotonic()
+    result = fn(*args)
+    return result, monotonic() - start
+
+
+def _agree_masks_task(
+    handle: object, rows_a: Sequence[int], rows_b: Sequence[int]
+) -> tuple[list[int], float]:
+    """Worker: agree masks of one pair chunk, in pair order."""
+    matrix = resolve_matrix(handle)
+    return _timed(agree_masks_from_matrix, matrix, list(rows_a), list(rows_b))
+
+
+def _distinct_masks_task(
+    handle: object, start: int, stop: int
+) -> tuple[list[int], float]:
+    """Worker: distinct agree masks of one anchor range, first-seen order."""
+    matrix = resolve_matrix(handle)
+    return _timed(distinct_agree_masks_range, matrix, start, stop)
+
+
+def _validate_task(
+    handle: object,
+    backend_name: str,
+    groups: list[tuple[int, list[tuple[int, int]]]],
+    witnesses: bool,
+) -> tuple[list[tuple[int, bool, tuple[int, int] | None]], float]:
+    """Worker: validate one chunk of distinct-LHS groups.
+
+    ``groups`` is ``[(lhs, [(result_index, rhs), ...]), ...]``; each LHS
+    is folded into group keys exactly once, mirroring the serial
+    ``validate_many`` loop.  Returns ``(result_index, holds, witness)``
+    triples tagged with the coordinator's indices, so the merge is a
+    plain indexed store regardless of chunk boundaries.
+    """
+    from .backends import get_backend
+
+    start = monotonic()
+    data = MatrixView(resolve_matrix(handle))
+    backend = get_backend(backend_name)
+    out: list[tuple[int, bool, tuple[int, int] | None]] = []
+    for lhs, members in groups:
+        keys = backend.group_keys(data, lhs)
+        for index, rhs in members:
+            if witnesses:
+                pair = backend.witness(data, keys, rhs)
+                out.append((index, pair is None, pair))
+            else:
+                out.append((index, backend.constant_on(data, keys, rhs), None))
+    return out, monotonic() - start
+
+
+def _call_task(
+    fn: Callable[[Any], Any], payload: Any
+) -> tuple[Any, float]:
+    """Worker: generic cell runner for the bench-matrix fan-out."""
+    return _timed(fn, payload)
+
+
+# -- the pool ------------------------------------------------------------------
+
+
+class WorkerPool:
+    """A deterministic chunk executor with a published-matrix cache.
+
+    The pool owns three things: the (lazily created) executor, the
+    shared-memory publications of label matrices it has shipped to
+    process workers, and the busy-time/task accounting surfaced as
+    ``engine.parallel.*`` telemetry and ``parallel_efficiency``.
+    """
+
+    def __init__(self, spec: "PoolSpec | int | str | None" = None) -> None:
+        self.spec = PoolSpec.parse(spec) if not isinstance(spec, PoolSpec) else spec
+        self._executor: Executor | None = None
+        # id(matrix) -> (weakref to the matrix, handle, cleanup); the id
+        # is re-validated through the weakref so a recycled id can never
+        # alias a dead matrix's segment.
+        self._published: dict[int, tuple[weakref.ref, object, Callable[[], None]]] = {}
+        self.tasks_dispatched = 0
+        self.chunks_dispatched = 0
+        self.busy_seconds = 0.0
+        self._closed = False
+
+    # -- identity ---------------------------------------------------------
+
+    @property
+    def jobs(self) -> int:
+        return self.spec.jobs
+
+    @property
+    def kind(self) -> str:
+        return self.spec.kind
+
+    @property
+    def is_serial(self) -> bool:
+        return self.spec.is_serial
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WorkerPool({self.kind}:{self.jobs})"
+
+    # -- statistics -------------------------------------------------------
+
+    def stats(self) -> dict[str, float]:
+        """Dispatch accounting: tasks, chunks, cumulative worker busy time."""
+        return {
+            "tasks": self.tasks_dispatched,
+            "chunks": self.chunks_dispatched,
+            "busy_seconds": self.busy_seconds,
+        }
+
+    # -- execution --------------------------------------------------------
+
+    def _ensure_executor(self) -> Executor:
+        if self._closed:
+            raise RuntimeError("worker pool is closed")
+        if self._executor is None:
+            if self.kind == THREAD:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.jobs, thread_name_prefix="repro-worker"
+                )
+            else:
+                self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._executor
+
+    def map_chunks(
+        self, fn: Callable[..., tuple[Any, float]], tasks: Sequence[tuple]
+    ) -> list[Any]:
+        """Run ``fn(*task)`` for every task; results in task order.
+
+        ``fn`` must be a module-level function returning ``(payload,
+        busy_seconds)``.  Futures are gathered by submission index — the
+        merge-by-chunk-index rule — never by completion order.  On a
+        serial pool this is a plain loop with no executor and no
+        telemetry, keeping the default path bit-for-bit unchanged.
+        """
+        if self.is_serial or len(tasks) <= 1:
+            results = []
+            for task in tasks:
+                payload, elapsed = fn(*task)
+                self.busy_seconds += elapsed
+                results.append(payload)
+            return results
+        executor = self._ensure_executor()
+        with span(
+            "engine.parallel.map",
+            kernel=fn.__name__.strip("_"),
+            chunks=len(tasks),
+            jobs=self.jobs,
+        ):
+            futures = [executor.submit(fn, *task) for task in tasks]
+            results = []
+            for future in futures:
+                payload, elapsed = future.result()
+                self.busy_seconds += elapsed
+                counter("engine.parallel.busy_seconds", elapsed)
+                results.append(payload)
+        self.tasks_dispatched += 1
+        self.chunks_dispatched += len(tasks)
+        counter("engine.parallel.tasks")
+        counter("engine.parallel.chunks", len(tasks))
+        return results
+
+    # -- matrix shipping --------------------------------------------------
+
+    def matrix_handle(self, matrix: Any) -> object:
+        """The transport handle workers resolve the matrix through.
+
+        Serial and thread pools hand the array over in-process; process
+        pools publish it into shared memory once (pickle fallback when
+        the platform lacks it) and reuse the publication for the
+        matrix's lifetime.
+        """
+        from .shm import InlineMatrix
+
+        if self.kind != PROCESS:
+            return InlineMatrix(matrix)
+        if self._closed:
+            # A closed pool must fail loudly here: publishing would
+            # orphan the segment (close() already ran and never reruns),
+            # turning a stale-context bug into a /dev/shm leak.
+            raise RuntimeError("worker pool is closed")
+        key = id(matrix)
+        entry = self._published.get(key)
+        if entry is not None and entry[0]() is matrix:
+            return entry[1]
+        handle, cleanup = publish_matrix(matrix)
+
+        def _forget(_ref: weakref.ref, key: int = key) -> None:
+            self._published.pop(key, None)
+            cleanup()
+
+        try:
+            ref = weakref.ref(matrix, _forget)
+        except TypeError:  # pragma: no cover - non-weakrefable buffers
+            ref = (lambda m: (lambda: m))(matrix)  # keep alive instead
+        self._published[key] = (ref, handle, cleanup)
+        return handle
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the executor down and unlink every published segment.
+
+        Mutates: self
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        # Every segment must get its unlink attempt: close() never reruns
+        # (_closed is already set), so aborting this loop on the first
+        # failing cleanup would orphan every segment after it.
+        error: Exception | None = None
+        for _, _, cleanup in list(self._published.values()):
+            try:
+                cleanup()
+            except Exception as exc:  # pragma: no cover - defensive
+                error = error or exc
+        self._published.clear()
+        if error is not None:  # pragma: no cover - defensive
+            raise error
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+# -- the shared pool registry --------------------------------------------------
+
+_POOLS: dict[PoolSpec, WorkerPool] = {}
+
+
+def get_pool(jobs: "int | str | PoolSpec | None" = None) -> WorkerPool:
+    """The shared pool for a jobs spec (argument → ``$REPRO_JOBS`` → serial).
+
+    Pools are cached per parsed spec so every context asking for
+    ``--jobs 4`` reuses one executor and one published copy of each
+    matrix; :func:`close_all_pools` runs at interpreter exit.
+    """
+    spec = resolve_spec(jobs)
+    pool = _POOLS.get(spec)
+    if pool is None or pool._closed:
+        pool = WorkerPool(spec)
+        _POOLS[spec] = pool
+    return pool
+
+
+def close_all_pools() -> None:
+    """Close every cached pool (executors down, shm segments unlinked)."""
+    error: Exception | None = None
+    for pool in list(_POOLS.values()):
+        try:
+            pool.close()
+        except Exception as exc:  # pragma: no cover - defensive
+            error = error or exc
+    _POOLS.clear()
+    if error is not None:  # pragma: no cover - defensive
+        raise error
+
+
+atexit.register(close_all_pools)
+
+
+# -- sharded kernels -----------------------------------------------------------
+
+
+def agree_masks_sharded(
+    pool: WorkerPool,
+    data: Any,
+    rows_a: Sequence[int],
+    rows_b: Sequence[int],
+) -> list[int]:
+    """Agree masks of a tuple-pair list, fanned out across the pool.
+
+    Pair order is preserved exactly (chunks are contiguous slices merged
+    by index), so consumers folding the masks into seen-dicts and covers
+    observe the serial sequence.  Small batches — fewer than ``jobs ×``
+    :data:`MIN_PAIRS_PER_WORKER` pairs — run inline: the comparison is
+    one vectorized numpy call and not worth a dispatch.
+    """
+    if pool.is_serial or len(rows_a) < pool.jobs * MIN_PAIRS_PER_WORKER:
+        return data.agree_masks_bulk(rows_a, rows_b)
+    handle = pool.matrix_handle(data.matrix)
+    tasks = [
+        (handle, chunk_a, chunk_b)
+        for chunk_a, chunk_b in chunk_pairs(
+            list(rows_a), list(rows_b), pool.jobs * CHUNKS_PER_WORKER
+        )
+    ]
+    return merge_chunked(pool.map_chunks(_agree_masks_task, tasks))
+
+
+def distinct_agree_masks_sharded(pool: WorkerPool, data: Any) -> set[int]:
+    """All-pairs distinct agree sets (the Fdep sweep), sharded by anchor.
+
+    Anchor ranges are contiguous and merged in range order; because each
+    worker reports masks in first-occurrence order, the coordinator's
+    set receives new elements in exactly the serial scan's insertion
+    sequence — so even downstream code iterating the set sees identical
+    order at any worker count.
+    """
+    num_rows = data.num_rows
+    if pool.is_serial or num_rows < 2 or (
+        num_rows * (num_rows - 1)
+    ) // 2 < pool.jobs * MIN_PAIRS_PER_WORKER:
+        return set(distinct_agree_masks_range(data.matrix, 0, max(num_rows - 1, 0)))
+    handle = pool.matrix_handle(data.matrix)
+    # Anchor i compares against n-1-i partners: costs fall linearly, so
+    # over-partition and let the executor balance the tail.
+    tasks = [
+        (handle, start, stop)
+        for start, stop in chunk_ranges(num_rows - 1, pool.jobs * CHUNKS_PER_WORKER)
+    ]
+    masks = set()
+    for chunk in pool.map_chunks(_distinct_masks_task, tasks):
+        masks.update(chunk)
+    return masks
+
+
+def validate_groups_sharded(
+    pool: WorkerPool,
+    data: Any,
+    backend_name: str,
+    groups: list[tuple[int, list[tuple[int, int]]]],
+    witnesses: bool,
+) -> list[tuple[int, bool, tuple[int, int] | None]]:
+    """Validate distinct-LHS groups across the pool; results carry the
+    coordinator's candidate indices so the caller stores them directly.
+
+    Groups are chunked contiguously in sorted-LHS order and merged by
+    chunk index; each group's keys are folded exactly once inside one
+    worker (a group never straddles chunks), preserving the serial
+    fold-per-distinct-LHS accounting.
+    """
+    handle = pool.matrix_handle(data.matrix)
+    tasks = [
+        (handle, backend_name, groups[start:stop], witnesses)
+        for start, stop in chunk_ranges(len(groups), pool.jobs * CHUNKS_PER_WORKER)
+    ]
+    return merge_chunked(pool.map_chunks(_validate_task, tasks))
+
+
+def run_cells_sharded(
+    pool: WorkerPool,
+    fn: Callable[[Any], Any],
+    payloads: Sequence[Any],
+) -> list[Any]:
+    """Fan independent work items (bench-matrix cells) across the pool.
+
+    ``fn`` must be module-level (process pools pickle it by reference);
+    results come back in payload order.
+    """
+    return pool.map_chunks(_call_task, [(fn, payload) for payload in payloads])

@@ -1,0 +1,206 @@
+"""Shared-memory transport for the preprocessed label matrix (DESIGN.md §9).
+
+Process workers of :mod:`repro.engine.parallel` need read access to the
+label matrix every kernel runs against.  Pickling the matrix into every
+task would ship ``rows × columns × 8`` bytes per chunk; instead the
+coordinator *publishes* the matrix once into a POSIX shared-memory
+segment (``multiprocessing.shared_memory``) and tasks carry only a tiny
+:class:`SharedMatrixRef` descriptor.  Workers attach lazily and cache the
+attachment per process, so after the first task the matrix costs nothing
+to reach.
+
+Three handle flavors cover every execution mode:
+
+* :class:`InlineMatrix` — the array itself, for serial and thread pools
+  (same address space, nothing to ship);
+* :class:`SharedMatrixRef` — name + shape + dtype of a published
+  segment, for process pools;
+* :class:`PickledMatrix` — the raw bytes, the fallback when
+  ``shared_memory`` is unavailable on the platform (or disabled for
+  tests); the executor's own pickling ships it once per task.
+
+Lifecycle: :func:`publish_matrix` returns the handle plus a cleanup
+callable that closes *and unlinks* the segment.  The worker pool owning
+the publication runs the cleanup when it shuts down (and registers it
+with ``atexit``), so a clean interpreter exit leaves no segment behind —
+the property the CI no-leak check asserts.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+try:  # pragma: no cover - import success is the normal path
+    from multiprocessing import resource_tracker, shared_memory
+except ImportError:  # pragma: no cover - platforms without _posixshmem
+    resource_tracker = None  # type: ignore[assignment]
+    shared_memory = None  # type: ignore[assignment]
+
+HAVE_SHARED_MEMORY = shared_memory is not None
+"""True when ``multiprocessing.shared_memory`` imported cleanly."""
+
+SEGMENT_PREFIX = "repro_shm_"
+"""Name prefix of every segment this module creates (greppable in /dev/shm)."""
+
+
+@dataclass(frozen=True)
+class InlineMatrix:
+    """The matrix itself — serial/thread handle, never pickled."""
+
+    matrix: np.ndarray
+
+
+@dataclass(frozen=True)
+class SharedMatrixRef:
+    """Descriptor of a published shared-memory segment."""
+
+    name: str
+    shape: tuple[int, int]
+    dtype: str
+
+
+@dataclass(frozen=True)
+class PickledMatrix:
+    """Fallback handle carrying the matrix bytes through pickle."""
+
+    payload: bytes
+    shape: tuple[int, int]
+    dtype: str
+
+
+MatrixHandle = InlineMatrix | SharedMatrixRef | PickledMatrix
+
+_SEQUENCE = 0
+
+
+def _next_segment_name() -> str:
+    """A collision-resistant segment name, unique per (pid, counter)."""
+    global _SEQUENCE
+    _SEQUENCE += 1
+    return f"{SEGMENT_PREFIX}{os.getpid()}_{_SEQUENCE}"
+
+
+def publish_matrix(
+    matrix: np.ndarray, *, use_shared_memory: bool | None = None
+) -> tuple[object, Callable[[], None]]:
+    """Publish ``matrix`` for process workers; return (handle, cleanup).
+
+    With shared memory available (and not explicitly disabled), the
+    matrix is copied once into a fresh segment and the returned handle is
+    a :class:`SharedMatrixRef`; the cleanup callable closes and unlinks
+    the segment and is safe to call more than once.  Otherwise the
+    fallback :class:`PickledMatrix` carries the bytes and cleanup is a
+    no-op.
+    """
+    if use_shared_memory is None:
+        use_shared_memory = HAVE_SHARED_MEMORY
+    if not use_shared_memory or not HAVE_SHARED_MEMORY:
+        return (
+            PickledMatrix(
+                payload=matrix.tobytes(),
+                shape=(int(matrix.shape[0]), int(matrix.shape[1])),
+                dtype=str(matrix.dtype),
+            ),
+            lambda: None,
+        )
+    segment = shared_memory.SharedMemory(
+        create=True, size=max(matrix.nbytes, 1), name=_next_segment_name()
+    )
+    view = np.ndarray(matrix.shape, dtype=matrix.dtype, buffer=segment.buf)
+    view[:] = matrix
+    handle = SharedMatrixRef(
+        name=segment.name,
+        shape=(int(matrix.shape[0]), int(matrix.shape[1])),
+        dtype=str(matrix.dtype),
+    )
+    done = False
+
+    def cleanup() -> None:
+        nonlocal done
+        if done:
+            return
+        done = True
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - a view still exports buf
+            # The mapping dies with the last view; unlinking below is
+            # what removes the name from /dev/shm, so never skip it.
+            pass
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+    return handle, cleanup
+
+
+# Per-process attachment cache: segment name -> (SharedMemory, ndarray).
+# Keeping the SharedMemory object referenced pins the mapping for the
+# worker's lifetime; entries die with the process.
+_ATTACHED: dict[str, tuple[object, np.ndarray]] = {}
+
+
+def _attach(ref: SharedMatrixRef) -> np.ndarray:
+    cached = _ATTACHED.get(ref.name)
+    if cached is not None:
+        return cached[1]
+    try:
+        # 3.13+: attach untracked, so no tracker ever considers unlinking
+        # a segment it does not own.
+        segment = shared_memory.SharedMemory(name=ref.name, track=False)
+    except TypeError:
+        # Pythons before 3.13 register *attachments* with the resource
+        # tracker too.  Under the fork start method (the Linux default)
+        # workers share the coordinator's tracker, so the duplicate
+        # registration is a set no-op and the coordinator's
+        # unlink+unregister on cleanup leaves the tracker clean.
+        segment = shared_memory.SharedMemory(name=ref.name)
+    array = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=segment.buf)
+    array.setflags(write=False)
+    _ATTACHED[ref.name] = (segment, array)
+    return array
+
+
+def resolve_matrix(handle: object) -> np.ndarray:
+    """The label matrix behind any handle flavor (worker side).
+
+    Shared-memory attachments are cached per process; pickled payloads
+    are rehydrated per call (each task carries its own copy anyway).
+    """
+    if isinstance(handle, InlineMatrix):
+        return handle.matrix
+    if isinstance(handle, SharedMatrixRef):
+        return _attach(handle)
+    if isinstance(handle, PickledMatrix):
+        array = np.frombuffer(handle.payload, dtype=np.dtype(handle.dtype))
+        array = array.reshape(handle.shape)
+        array.setflags(write=False)
+        return array
+    raise TypeError(f"not a matrix handle: {handle!r}")
+
+
+class MatrixView:
+    """A :class:`~repro.relation.preprocess.PreprocessedRelation` facade.
+
+    The validation backends only touch ``matrix`` / ``num_rows`` /
+    ``num_columns``; this minimal view lets worker processes run the
+    unchanged kernels against a resolved shared matrix without
+    reconstructing relation metadata they never read.
+    """
+
+    __slots__ = ("matrix",)
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        self.matrix = matrix
+
+    @property
+    def num_rows(self) -> int:
+        return int(self.matrix.shape[0])
+
+    @property
+    def num_columns(self) -> int:
+        return int(self.matrix.shape[1])

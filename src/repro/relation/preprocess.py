@@ -74,14 +74,7 @@ class PreprocessedRelation:
         of a cluster at once); doing the label comparison and bit packing
         in a single numpy call keeps the per-pair cost at C speed.
         """
-        equal = self.matrix[rows_a] == self.matrix[rows_b]
-        packed = np.packbits(equal, axis=1, bitorder="little")
-        width = packed.shape[1]
-        data = packed.tobytes()
-        return [
-            int.from_bytes(data[offset : offset + width], "little")
-            for offset in range(0, len(data), width)
-        ]
+        return agree_masks_from_matrix(self.matrix, rows_a, rows_b)
 
     def iter_clusters(self) -> Iterator[tuple[int, tuple[int, ...]]]:
         """Yield ``(attribute, cluster)`` over all stripped clusters."""
@@ -92,6 +85,59 @@ class PreprocessedRelation:
     def labels(self, column: int) -> np.ndarray:
         """The dense label vector of one column."""
         return self.matrix[:, column]
+
+
+def agree_masks_from_matrix(
+    matrix: np.ndarray,
+    rows_a: "np.ndarray | list[int]",
+    rows_b: "np.ndarray | list[int]",
+) -> list[int]:
+    """Agree masks of tuple pairs over a bare label matrix, in pair order.
+
+    The matrix-level core of :meth:`PreprocessedRelation.agree_masks_bulk`,
+    factored out so worker processes of the parallel execution engine can
+    run it against a shared-memory view of the matrix without rebuilding a
+    :class:`PreprocessedRelation`.
+
+    Pure: reads the matrix and row lists only; returns a fresh list.
+    """
+    equal = matrix[rows_a] == matrix[rows_b]
+    packed = np.packbits(equal, axis=1, bitorder="little")
+    width = packed.shape[1]
+    data = packed.tobytes()
+    return [
+        int.from_bytes(data[offset : offset + width], "little")
+        for offset in range(0, len(data), width)
+    ]
+
+
+def distinct_agree_masks_range(
+    matrix: np.ndarray, start: int, stop: int
+) -> list[int]:
+    """Distinct agree masks of all pairs anchored in ``[start, stop)``.
+
+    For each anchor row ``i`` in the range, compares the label matrix of
+    rows ``i+1 .. n-1`` against row ``i`` in one vectorized operation —
+    the sweep Fdep performs over every anchor.  Masks come back as a list
+    in first-occurrence order (the order a serial scan of the same range
+    would first see them), so a coordinator merging per-range results in
+    range order reproduces the serial insertion sequence exactly; that
+    property is what makes the parallel Fdep sweep byte-identical to the
+    serial one at any worker count.
+
+    Pure: reads the matrix only; returns a fresh list.
+    """
+    seen: dict[int, None] = {}
+    for anchor in range(start, stop):
+        equal = matrix[anchor + 1 :] == matrix[anchor]
+        packed = np.packbits(equal, axis=1, bitorder="little")
+        row_bytes = packed.tobytes()
+        width = packed.shape[1]
+        for offset in range(0, len(row_bytes), width):
+            seen.setdefault(
+                int.from_bytes(row_bytes[offset : offset + width], "little")
+            )
+    return list(seen)
 
 
 def preprocess(relation: Relation, null_equals_null: bool = True) -> PreprocessedRelation:

@@ -1,0 +1,8 @@
+"""RPR105 fixture: raw concurrency imports outside the parallel engine."""
+
+import multiprocessing
+from concurrent.futures import ThreadPoolExecutor
+
+
+def spawn_pool() -> ThreadPoolExecutor:
+    return ThreadPoolExecutor(max_workers=multiprocessing.cpu_count())

@@ -36,6 +36,7 @@ EXPECTED_FIXTURE_RULES = {
     "metrics/rpr005_unannotated.py": "RPR005",
     "relation/rpr006_dtype.py": "RPR006",
     "core/rpr104_clock.py": "RPR104",
+    "core/rpr105_parallel.py": "RPR105",
     "metrics/rpr101_layering.py": "RPR101",
     "core/rpr101_cycle_a.py": "RPR101",
     "core/rpr101_cycle_b.py": "RPR101",

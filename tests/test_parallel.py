@@ -1,0 +1,295 @@
+"""The parallel execution engine: pool specs, sharded kernels, and the
+cross-worker determinism guarantee.
+
+The load-bearing suite here is :class:`TestCrossWorkerDeterminism`: FD
+sets *and* run statistics must be byte-identical for ``jobs`` in
+{serial, 2, 4} across EulerFD / HyFD / Fdep on several synthetic
+datasets.  The dispatch thresholds are forced down so even the small
+test relations actually fan out; without that the pool would fall back
+to the inline path and the tests would assert nothing.
+"""
+
+from __future__ import annotations
+
+import glob
+
+import pytest
+
+import repro.engine.parallel as parallel
+import repro.engine.shm as shm
+from repro.algorithms import create
+from repro.bench.runner import run_algorithm, run_matrix
+from repro.datasets import registry
+from repro.engine import (
+    ExecutionContext,
+    JOBS_ENV,
+    PoolSpec,
+    WorkerPool,
+    close_all_pools,
+    get_pool,
+    resolve_spec,
+    use_context,
+)
+from repro.engine.parallel import chunk_pairs, chunk_ranges, merge_chunked
+from repro.relation.preprocess import preprocess
+
+
+@pytest.fixture
+def tiny_thresholds(monkeypatch):
+    """Force dispatch on small inputs so parallel paths actually run."""
+    monkeypatch.setattr(parallel, "MIN_PAIRS_PER_WORKER", 1)
+    monkeypatch.setattr(parallel, "MIN_GROUPS_PER_WORKER", 1)
+
+
+@pytest.fixture(autouse=True)
+def fresh_pools():
+    """Every test starts and ends without cached pools or live segments."""
+    close_all_pools()
+    yield
+    close_all_pools()
+
+
+def _discover(algorithm: str, relation, jobs):
+    context = ExecutionContext(relation, jobs=jobs)
+    with use_context(context):
+        result = create(algorithm).discover(relation)
+    return result
+
+
+# -- spec parsing --------------------------------------------------------------
+
+
+class TestPoolSpec:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (None, ("serial", 1)),
+            ("", ("serial", 1)),
+            ("serial", ("serial", 1)),
+            (1, ("serial", 1)),
+            ("1", ("serial", 1)),
+            (4, ("process", 4)),
+            ("4", ("process", 4)),
+            ("process:2", ("process", 2)),
+            ("thread:3", ("thread", 3)),
+            ("THREAD:3", ("thread", 3)),
+        ],
+    )
+    def test_parse(self, value, expected):
+        spec = PoolSpec.parse(value)
+        assert (spec.kind, spec.jobs) == expected
+
+    def test_bare_kind_uses_cpu_count(self):
+        assert PoolSpec.parse("thread").jobs >= 2
+        assert PoolSpec.parse("process").kind == "process"
+
+    @pytest.mark.parametrize("value", ["fiber:2", "process:0", "0"])
+    def test_rejects_invalid(self, value):
+        with pytest.raises(ValueError):
+            PoolSpec.parse(value)
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "thread:2")
+        assert resolve_spec() == PoolSpec("thread", 2)
+        assert resolve_spec("process:3") == PoolSpec("process", 3)
+        monkeypatch.delenv(JOBS_ENV)
+        assert resolve_spec().is_serial
+
+    def test_get_pool_caches_per_spec(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        assert get_pool("thread:2") is get_pool("thread:2")
+        assert get_pool("thread:2") is not get_pool("thread:3")
+        serial = get_pool(None)
+        assert serial.is_serial and serial is get_pool("serial")
+
+
+# -- chunk plans ---------------------------------------------------------------
+
+
+class TestChunkPlans:
+    @pytest.mark.parametrize("total,chunks", [(0, 4), (1, 4), (10, 3), (100, 7)])
+    def test_ranges_cover_exactly_in_order(self, total, chunks):
+        ranges = chunk_ranges(total, chunks)
+        flat = [i for start, stop in ranges for i in range(start, stop)]
+        assert flat == list(range(total))
+        sizes = [stop - start for start, stop in ranges]
+        assert sizes == sorted(sizes, reverse=True)  # never growing
+
+    def test_pairs_preserve_order(self):
+        rows_a, rows_b = list(range(10)), list(range(10, 20))
+        chunks = chunk_pairs(rows_a, rows_b, 3)
+        assert merge_chunked([list(a) for a, _ in chunks]) == rows_a
+        assert merge_chunked([list(b) for _, b in chunks]) == rows_b
+
+
+# -- kernel equivalence --------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def sample_data():
+    relation = registry.make("fd-reduced-30", rows=200, seed=11)
+    return preprocess(relation, True)
+
+
+KINDS = ["thread:2", "process:2"]
+
+
+class TestShardedKernels:
+    @pytest.mark.parametrize("jobs", KINDS)
+    def test_agree_masks_match_serial(self, sample_data, jobs, tiny_thresholds):
+        rows_a = list(range(0, 150))
+        rows_b = list(range(50, 200))
+        serial = sample_data.agree_masks_bulk(rows_a, rows_b)
+        pool = get_pool(jobs)
+        assert parallel.agree_masks_sharded(pool, sample_data, rows_a, rows_b) == serial
+        assert pool.stats()["chunks"] > 0
+
+    @pytest.mark.parametrize("jobs", KINDS)
+    def test_distinct_masks_match_serial(self, sample_data, jobs, tiny_thresholds):
+        serial = parallel.distinct_agree_masks_sharded(get_pool("serial"), sample_data)
+        sharded = parallel.distinct_agree_masks_sharded(get_pool(jobs), sample_data)
+        assert sharded == serial
+        # Insertion-order preservation, not just set equality: iteration
+        # order is what downstream cover construction consumes.
+        assert list(sharded) == list(serial)
+
+    @pytest.mark.parametrize("jobs", KINDS)
+    def test_validate_many_matches_serial(self, sample_data, jobs, tiny_thresholds):
+        relation = sample_data.relation
+        candidates = [
+            fd
+            for fd in create("fdep").discover(relation).fds
+        ]
+        serial = ExecutionContext(relation, jobs="serial").validate_many(
+            candidates, witnesses=True
+        )
+        sharded = ExecutionContext(relation, jobs=jobs).validate_many(
+            candidates, witnesses=True
+        )
+        assert sharded == serial
+
+    def test_small_batches_stay_inline(self, sample_data):
+        pool = get_pool("thread:2")
+        rows_a, rows_b = [0, 1], [2, 3]
+        assert parallel.agree_masks_sharded(
+            pool, sample_data, rows_a, rows_b
+        ) == sample_data.agree_masks_bulk(rows_a, rows_b)
+        assert pool.stats()["chunks"] == 0  # below threshold: no dispatch
+
+
+# -- the determinism guarantee -------------------------------------------------
+
+
+DATASETS = [
+    ("fd-reduced-30", 300, 3),
+    ("plista", 150, 7),
+    ("balance-scale", 250, 1),
+]
+ALGORITHMS = ["eulerfd", "hyfd", "fdep"]
+
+
+class TestCrossWorkerDeterminism:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @pytest.mark.parametrize("name,rows,seed", DATASETS)
+    def test_fds_and_stats_identical_across_worker_counts(
+        self, algorithm, name, rows, seed, tiny_thresholds
+    ):
+        relation = registry.make(name, rows=rows, seed=seed)
+        baseline = _discover(algorithm, relation, "serial")
+        for jobs in (2, 4):
+            result = _discover(algorithm, relation, jobs)
+            assert result.fds == baseline.fds, f"jobs={jobs}"
+            assert result.stats == baseline.stats, f"jobs={jobs}"
+
+    def test_thread_pool_matches_process_pool(self, tiny_thresholds):
+        relation = registry.make("fd-reduced-30", rows=300, seed=3)
+        thread = _discover("hyfd", relation, "thread:2")
+        process = _discover("hyfd", relation, "process:2")
+        assert thread.fds == process.fds
+        assert thread.stats == process.stats
+
+
+# -- shared-memory transport ---------------------------------------------------
+
+
+class TestMatrixTransport:
+    def test_publish_resolve_roundtrip(self, sample_data):
+        handle, cleanup = shm.publish_matrix(sample_data.matrix)
+        try:
+            resolved = shm.resolve_matrix(handle)
+            assert (resolved == sample_data.matrix).all()
+        finally:
+            cleanup()
+        cleanup()  # idempotent
+
+    def test_pickle_fallback_roundtrip(self, sample_data):
+        handle, cleanup = shm.publish_matrix(
+            sample_data.matrix, use_shared_memory=False
+        )
+        assert isinstance(handle, shm.PickledMatrix)
+        resolved = shm.resolve_matrix(handle)
+        assert (resolved == sample_data.matrix).all()
+        cleanup()
+
+    def test_discovery_on_pickle_fallback(self, monkeypatch, tiny_thresholds):
+        """Platforms without shared memory still parallelize correctly."""
+        monkeypatch.setattr(shm, "HAVE_SHARED_MEMORY", False)
+        relation = registry.make("fd-reduced-30", rows=300, seed=3)
+        baseline = _discover("fdep", relation, "serial")
+        result = _discover("fdep", relation, 2)
+        assert result.fds == baseline.fds
+        assert result.stats == baseline.stats
+
+    def test_no_leaked_segments_after_close(self, sample_data, tiny_thresholds):
+        # Snapshot first: only segments *this* test publishes count, so a
+        # stale segment from an unrelated crashed process cannot flake us.
+        before = set(glob.glob(f"/dev/shm/{shm.SEGMENT_PREFIX}*"))
+        pool = get_pool("process:2")
+        parallel.agree_masks_sharded(
+            pool, sample_data, list(range(150)), list(range(50, 200))
+        )
+        close_all_pools()
+        leaked = set(glob.glob(f"/dev/shm/{shm.SEGMENT_PREFIX}*")) - before
+        assert leaked == set()
+
+    def test_closed_pool_refuses_to_publish(self, sample_data):
+        """A stale context must fail loudly, not orphan a fresh segment."""
+        pool = get_pool("process:2")
+        pool.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.matrix_handle(sample_data.matrix)
+
+
+# -- bench-harness surface -----------------------------------------------------
+
+
+class TestBenchIntegration:
+    def test_run_matrix_matches_serial(self, tiny_thresholds):
+        relations = [
+            registry.make("iris", rows=80, seed=1),
+            registry.make("fd-reduced-30", rows=150, seed=2),
+        ]
+        serial = run_matrix(relations, algorithms=["Fdep", "EulerFD"], jobs="serial")
+        fanned = run_matrix(
+            relations, algorithms=["Fdep", "EulerFD"], jobs="process:2"
+        )
+        assert list(serial) == list(fanned)
+        for key, run in serial.items():
+            assert fanned[key].fds == run.fds, key
+            assert fanned[key].stats == run.stats, key
+
+    def test_run_matrix_rejects_unknown_algorithm(self):
+        with pytest.raises(KeyError):
+            run_matrix([registry.make("iris", rows=20, seed=1)], algorithms=["Nope"])
+
+    def test_parallel_efficiency_populated(self, tiny_thresholds):
+        relation = registry.make("fd-reduced-30", rows=300, seed=3)
+        serial = run_algorithm(create("fdep").__class__, relation, jobs="serial")
+        assert serial.jobs == 1 and serial.parallel_efficiency is None
+        fanned = run_algorithm(
+            create("fdep").__class__, relation, jobs="thread:2"
+        )
+        assert fanned.jobs == 2
+        assert fanned.parallel_efficiency is not None
+        assert fanned.parallel_efficiency > 0
+        assert fanned.fds == serial.fds
