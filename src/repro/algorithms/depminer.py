@@ -19,6 +19,8 @@ calls them "moderately scalable in both dimensions".
 
 from __future__ import annotations
 
+from collections.abc import Iterable
+
 from ..core.result import DiscoveryResult, Stopwatch, make_result
 from ..fd import FD, attrset
 from ..relation.relation import Relation
@@ -26,11 +28,16 @@ from .base import execution_context, register
 from .fdep import compute_agree_masks
 
 
-def maximal_agree_sets(agree_masks: set[int], excluding: int) -> list[int]:
-    """The maximal agree sets (by set inclusion) not containing ``excluding``."""
+def maximal_agree_sets(agree_masks: Iterable[int], excluding: int) -> list[int]:
+    """The maximal agree sets (by set inclusion) not containing ``excluding``.
+
+    The size-descending scan breaks ties on the mask value so the
+    output order is canonical regardless of how ``agree_masks`` was
+    produced (RPR107: no set-iteration order may escape).
+    """
     relevant = sorted(
         (mask for mask in agree_masks if not attrset.contains(mask, excluding)),
-        key=lambda mask: -mask.bit_count(),
+        key=lambda mask: (-mask.bit_count(), mask),
     )
     maximal: list[int] = []
     for mask in relevant:
@@ -96,7 +103,8 @@ class DepMiner:
         data = execution_context(relation, self.null_equals_null).data
         num_attributes = data.num_columns
         universe = attrset.universe(num_attributes)
-        agree_masks = compute_agree_masks(data)
+        # sorted(): canonical agree-set order into the hypergraph (RPR107)
+        agree_masks = sorted(compute_agree_masks(data))
         fds: list[FD] = []
         hypergraph_edges = 0
         for rhs in range(num_attributes):

@@ -86,7 +86,8 @@ class FastFDs:
         data = execution_context(relation, self.null_equals_null).data
         num_attributes = data.num_columns
         universe = attrset.universe(num_attributes)
-        agree_masks = compute_agree_masks(data)
+        # sorted(): canonical agree-set order into the difference sets (RPR107)
+        agree_masks = sorted(compute_agree_masks(data))
         fds: list[FD] = []
         difference_sets = 0
         for rhs in range(num_attributes):

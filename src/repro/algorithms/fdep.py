@@ -42,7 +42,9 @@ class Fdep:
         data = context.data
         num_attributes = data.num_columns
         with span("agree_sets"):
-            agree_masks = compute_agree_masks(data, pool=context.pool)
+            # sorted(): canonicalize the agree-set order so negative-cover
+            # insertion never depends on set iteration order (RPR107).
+            agree_masks = sorted(compute_agree_masks(data, pool=context.pool))
         ncover = NegativeCover(num_attributes)
         pending: list[FD] = []
         universe = attrset.universe(num_attributes)

@@ -8,13 +8,20 @@ encapsulation, the algorithm name/kind contract, mutable defaults,
 public-API annotations, numpy dtype hygiene — plus three whole-program
 rules: import layering & acyclicity (RPR101), ``Pure:``/``Mutates:``
 docstring contracts against inferred mutation summaries (RPR102), and
-dead ``__all__`` exports (RPR103).  ``repro-lint --sanitize OUTDIR``
-additionally emits a shadow copy of the package in which every docstring
-contract is enforced at runtime.  See DESIGN.md, "Analysis &
-invariants", for the rule catalogue, the layer diagram, and the
-suppression/baseline workflow.
+dead ``__all__`` exports (RPR103), plus three *flow-sensitive* rules
+built on the CFG/dataflow layer (:mod:`repro.analysis.cfg`,
+:mod:`repro.analysis.dataflow`): parallel-state escape (RPR106),
+merge-order sensitivity (RPR107), and numeric-width overflow (RPR108).
+Results are memoized on content hashes (:mod:`repro.analysis.cache`;
+``--no-cache`` bypasses), ``repro-lint --explain RPR107`` documents any
+rule, and ``repro-lint --sanitize OUTDIR`` additionally emits a shadow
+copy of the package in which every docstring contract is enforced as a
+runtime assertion alongside determinism/overflow probes.  See DESIGN.md,
+"Analysis & invariants", for the rule catalogue, the layer diagram, and
+the suppression/baseline workflow.
 """
 
+from .cli import explain_rule
 from .engine import AnalysisResult, Finding, Module, ProjectRule, Rule, analyze
 from .rules import default_rules
 from .sanitize import SanitizeReport, sanitize_package
@@ -28,5 +35,6 @@ __all__ = [
     "SanitizeReport",
     "analyze",
     "default_rules",
+    "explain_rule",
     "sanitize_package",
 ]

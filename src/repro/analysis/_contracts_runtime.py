@@ -23,6 +23,25 @@ Checks are budgeted: after ``REPRO_CONTRACTS_MAX_CHECKS`` calls
 (default 128) a wrapper becomes a plain passthrough, so instrumented
 test runs stay roughly linear.  Set ``REPRO_CONTRACTS_DISABLE=1`` to
 strip the wrappers entirely at import time.
+
+The :func:`probe` decorator carries the *runtime* halves of the
+dataflow rules (RPR107/RPR108) into the sanitized tree:
+
+* ``shard_permutation`` (on ``WorkerPool.map_chunks``) — re-dispatches
+  the same chunk plan in reversed order and asserts the index-restored
+  results are identical, i.e. the merge really is permutation-invariant
+  and not accidentally completion-order dependent.  Only the
+  deterministic kernels are replayed (wall-time payloads would differ by
+  construction), and only on a non-serial pool with 2+ chunks.
+* ``fold_overflow`` (on ``fold_labels``) — recomputes the fold's
+  distinct-group count with unbounded Python ints and asserts the int64
+  result kept every ``(key, label)`` pair distinct: a silent 2^64 wrap
+  shows up as collided groups.
+
+Probes budget separately (``REPRO_PROBES_MAX_CHECKS``, default 32 — they
+re-run kernels, so they are costlier than snapshots) and can be disabled
+with ``REPRO_PROBES_DISABLE=1``.  numpy is imported lazily inside the
+fold check so this shim still imports with the standard library alone.
 """
 
 from __future__ import annotations
@@ -41,6 +60,10 @@ _PROTOCOL = 4
 
 class ContractViolation(AssertionError):
     """An instrumented call broke its declared docstring contract."""
+
+
+class ProbeViolation(AssertionError):
+    """An instrumented call failed a runtime determinism/overflow probe."""
 
 
 def _max_checks() -> int:
@@ -74,6 +97,102 @@ def _members(value: object) -> object:
         return list(value)
     except Exception:
         return _SKIP
+
+
+def _probes_max_checks() -> int:
+    try:
+        return int(os.environ.get("REPRO_PROBES_MAX_CHECKS", "32"))
+    except ValueError:
+        return 32
+
+
+def _probes_disabled() -> bool:
+    return os.environ.get("REPRO_PROBES_DISABLE", "") == "1"
+
+
+#: task kernels whose payloads are deterministic data (safe to replay);
+#: the bench-matrix runner `_call_task` returns wall times and is not.
+_PERMUTATION_SAFE_TASKS = frozenset(
+    {"_agree_masks_task", "_distinct_masks_task", "_validate_task"}
+)
+
+
+def _check_shard_permutation(
+    func: Callable, args: tuple, kwargs: dict, result: object
+) -> None:
+    """Replay ``map_chunks`` with the chunk plan reversed; results must
+    restore to the same list once indexed back."""
+    if kwargs or len(args) != 3:
+        return  # unusual call shape: nothing to assert
+    pool, task_fn, tasks = args
+    if getattr(task_fn, "__name__", "") not in _PERMUTATION_SAFE_TASKS:
+        return
+    if getattr(pool, "is_serial", True) or len(tasks) <= 1:
+        return
+    snapshot = (pool.busy_seconds, pool.tasks_dispatched, pool.chunks_dispatched)
+    try:
+        replay = func(pool, task_fn, list(reversed(list(tasks))))
+    finally:
+        # the replay is a shadow dispatch: keep the accounting untouched
+        pool.busy_seconds, pool.tasks_dispatched, pool.chunks_dispatched = snapshot
+    if list(reversed(replay)) != list(result):
+        raise ProbeViolation(
+            f"map_chunks({task_fn.__name__}): dispatching the same chunk "
+            "plan in reversed order changed the index-restored results — "
+            "the merge is completion-order dependent, not chunk-indexed"
+        )
+
+
+def _check_fold_overflow(
+    func: Callable, args: tuple, kwargs: dict, result: object
+) -> None:
+    """Recompute the fold's distinct-group count with unbounded ints."""
+    import numpy  # lazy: the shim must import with the stdlib alone
+
+    values = [*args, *kwargs.values()]
+    if len(values) != 2:
+        return
+    keys, labels = values
+    try:
+        pairs = len(set(zip(keys.tolist(), labels.tolist())))
+        distinct = int(numpy.unique(numpy.asarray(result)).size)
+    except (AttributeError, TypeError, ValueError):
+        return
+    if distinct != pairs:
+        raise ProbeViolation(
+            f"fold_labels: int64 fold produced {distinct} distinct keys "
+            f"for {pairs} distinct (key, label) pairs — the fold wrapped "
+            "and collided groups"
+        )
+
+
+_PROBE_CHECKS: dict[str, Callable] = {
+    "shard_permutation": _check_shard_permutation,
+    "fold_overflow": _check_fold_overflow,
+}
+
+
+def probe(name: str) -> Callable:
+    """Decorator factory the sanitizer injects above probed kernels."""
+
+    def decorate(func: Callable) -> Callable:
+        check = _PROBE_CHECKS.get(name)
+        if check is None or _probes_disabled():
+            return func
+        budget = _probes_max_checks()
+        state = {"checks": 0}
+
+        @functools.wraps(func)
+        def wrapper(*args: object, **kwargs: object) -> object:
+            result = func(*args, **kwargs)
+            if state["checks"] < budget:
+                state["checks"] += 1
+                check(func, args, kwargs, result)
+            return result
+
+        return wrapper
+
+    return decorate
 
 
 def contract(

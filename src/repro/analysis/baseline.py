@@ -18,7 +18,10 @@ from pathlib import Path
 from .engine import Finding
 
 _SEPARATOR = "\t"
-_VERSION = 1
+_VERSION = 2
+"""Bumped to 2 with the dataflow rules (RPR106-RPR108): their findings
+join the key space, so any baseline written before they existed must be
+regenerated rather than silently treated as complete."""
 
 
 def _key(finding: Finding) -> str:
@@ -29,10 +32,10 @@ def _key(finding: Finding) -> str:
 def load(path: Path) -> Counter[str]:
     """Read a baseline file; a missing file is an empty baseline.
 
-    Raises :class:`ValueError` for anything that is not a version-1
-    baseline document — a corrupt file or one written by a future
-    repro-lint must fail loudly, not silently un-grandfather (or worse,
-    silently absorb) findings.
+    Raises :class:`ValueError` for anything that is not a
+    current-version baseline document — a corrupt file or one written by
+    a different repro-lint must fail loudly, not silently
+    un-grandfather (or worse, silently absorb) findings.
     """
     if not path.exists():
         return Counter()

@@ -1,0 +1,203 @@
+"""Content-hash incremental cache for ``repro-lint``.
+
+Lint results are a pure function of (file contents, rule set, linter
+source), so the CLI memoizes them under ``.repro-lint-cache/`` at the
+repository root and replays them when nothing changed:
+
+* **file entries** — per-file findings keyed by a digest of the file's
+  relpath, bytes, and the active rule codes; editing one module re-lints
+  only that module's per-file rules on the next run;
+* **tree entries** — the complete :class:`AnalysisResult` keyed by the
+  digest of *every* scanned file.  A full hit skips parsing and the
+  whole-program passes (the expensive part) entirely.
+
+Both kinds of key are salted with a hash of the analysis package's own
+source, so changing a rule, the engine, or this cache invalidates every
+stored result — there is no version knob to forget to bump.  Corrupt or
+foreign cache files are ignored, never an error: the cache can always be
+deleted (or bypassed with ``--no-cache``) without changing any output.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from .engine import AnalysisResult, Finding
+
+_VERSION = 1
+_MAX_FILE_ENTRIES = 4096
+_MAX_TREE_ENTRIES = 16
+CACHE_DIR_NAME = ".repro-lint-cache"
+
+
+def _package_salt() -> str:
+    """Digest of the analysis package's own source files."""
+    package = Path(__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(package.glob("*.py")):
+        digest.update(path.name.encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def _encode_finding(finding: Finding) -> list:
+    return [finding.path, finding.line, finding.col, finding.rule, finding.message]
+
+
+def _decode_finding(row: list) -> Finding:
+    path, line, col, rule, message = row
+    return Finding(
+        path=str(path), line=int(line), col=int(col), rule=str(rule),
+        message=str(message),
+    )
+
+
+def _encode_result(result: AnalysisResult) -> dict:
+    return {
+        "files_scanned": result.files_scanned,
+        "parse_errors": list(result.parse_errors),
+        "paths": dict(result.paths),
+        "findings": [_encode_finding(finding) for finding in result.findings],
+    }
+
+
+def _decode_result(entry: dict) -> AnalysisResult:
+    return AnalysisResult(
+        findings=[_decode_finding(row) for row in entry["findings"]],
+        files_scanned=int(entry["files_scanned"]),
+        parse_errors=[str(item) for item in entry["parse_errors"]],
+        paths={str(key): str(value) for key, value in entry["paths"].items()},
+    )
+
+
+def find_cache_dir(anchor: Path) -> Path | None:
+    """``.repro-lint-cache/`` beside the nearest repo marker above ``anchor``.
+
+    Walks up looking for ``pyproject.toml`` or ``.git`` so the cache
+    lands at the repository root regardless of which subtree was linted;
+    returns None (caching off) when no marker exists — scanning an
+    arbitrary directory must not litter it.
+    """
+    anchor = anchor.resolve()
+    if anchor.is_file():
+        anchor = anchor.parent
+    for directory in (anchor, *anchor.parents):
+        if (directory / "pyproject.toml").exists() or (directory / ".git").exists():
+            return directory / CACHE_DIR_NAME
+    return None
+
+
+class LintCache:
+    """Findings memoized on disk, keyed by content digests."""
+
+    def __init__(self, directory: Path) -> None:
+        self.directory = directory
+        self.path = directory / "cache.json"
+        self.salt = _package_salt()
+        self._files: dict[str, list] = {}
+        self._trees: dict[str, dict] = {}
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            raw = json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            return
+        if not isinstance(raw, dict) or raw.get("version") != _VERSION:
+            return
+        if raw.get("salt") != self.salt:
+            return  # the linter itself changed: every entry is stale
+        files = raw.get("files")
+        trees = raw.get("trees")
+        if isinstance(files, dict):
+            self._files = files
+        if isinstance(trees, dict):
+            self._trees = trees
+
+    # -- keys ------------------------------------------------------------
+
+    def file_key(self, relpath: str, data: bytes, codes: str) -> str:
+        digest = hashlib.sha256()
+        digest.update(codes.encode())
+        digest.update(b"\0")
+        digest.update(relpath.encode())
+        digest.update(b"\0")
+        digest.update(data)
+        return digest.hexdigest()
+
+    def tree_key(self, file_keys: list[str], codes: str) -> str:
+        digest = hashlib.sha256()
+        digest.update(codes.encode())
+        for key in file_keys:
+            digest.update(b"\0")
+            digest.update(key.encode())
+        return digest.hexdigest()
+
+    # -- per-file entries ------------------------------------------------
+
+    def get_file(self, key: str) -> list[Finding] | None:
+        entry = self._files.get(key)
+        if entry is None:
+            return None
+        try:
+            findings = [_decode_finding(row) for row in entry]
+        except (KeyError, TypeError, ValueError):
+            return None
+        self._files[key] = self._files.pop(key)  # LRU touch
+        return findings
+
+    def put_file(self, key: str, findings: list[Finding]) -> None:
+        self._files.pop(key, None)
+        self._files[key] = [_encode_finding(finding) for finding in findings]
+        self._dirty = True
+
+    # -- whole-run entries -----------------------------------------------
+
+    def get_result(self, key: str) -> AnalysisResult | None:
+        entry = self._trees.get(key)
+        if entry is None:
+            return None
+        try:
+            result = _decode_result(entry)
+        except (KeyError, TypeError, ValueError):
+            return None
+        self._trees[key] = self._trees.pop(key)  # LRU touch
+        return result
+
+    def put_result(self, key: str, result: AnalysisResult) -> None:
+        self._trees.pop(key, None)
+        self._trees[key] = _encode_result(result)
+        self._dirty = True
+
+    # -- persistence -----------------------------------------------------
+
+    def save(self) -> None:
+        """Write back (atomically) if anything changed; trim to the LRU caps."""
+        if not self._dirty:
+            return
+        while len(self._files) > _MAX_FILE_ENTRIES:
+            self._files.pop(next(iter(self._files)))
+        while len(self._trees) > _MAX_TREE_ENTRIES:
+            self._trees.pop(next(iter(self._trees)))
+        payload = {
+            "version": _VERSION,
+            "salt": self.salt,
+            "files": self._files,
+            "trees": self._trees,
+        }
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            ignore = self.directory / ".gitignore"
+            if not ignore.exists():
+                ignore.write_text("*\n")
+            scratch = self.path.with_suffix(".json.tmp")
+            scratch.write_text(json.dumps(payload))
+            scratch.replace(self.path)
+        except OSError:
+            return  # read-only checkout: caching silently off
+        self._dirty = False

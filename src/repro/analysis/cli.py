@@ -22,6 +22,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import textwrap
 from collections.abc import Sequence
 from pathlib import Path
 
@@ -42,8 +43,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-lint",
         description=(
             "Static analysis for the EulerFD reproduction: per-file "
-            "lint (RPR001-RPR006) plus whole-program import-layering, "
-            "purity-contract, and dead-export passes (RPR101-RPR103)."
+            "lint (RPR001-RPR006), whole-program import-layering, "
+            "purity-contract, and dead-export passes (RPR101-RPR103), "
+            "and flow-sensitive dataflow rules for parallel-state "
+            "escape, merge-order sensitivity, and numeric-width "
+            "overflow (RPR106-RPR108)."
         ),
     )
     parser.add_argument(
@@ -88,9 +92,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 1 when new findings exist (default: on; CI passes it explicitly)",
     )
     parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help=(
+            "disable the incremental result cache (.repro-lint-cache/ at "
+            "the repository root); caching never changes output, only "
+            "skips re-analysis of unchanged files"
+        ),
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="describe every rule code and exit",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="CODE",
+        help="print one rule's rationale, example, and suppression syntax",
     )
     parser.add_argument(
         "--sanitize",
@@ -215,6 +233,40 @@ def _list_rules() -> str:
     return "\n".join(lines)
 
 
+def explain_rule(code: str) -> str:
+    """One rule's documentation: rationale, example, suppression syntax.
+
+    Raises ``ValueError`` for an unknown code; the CLI surface is
+    ``repro-lint --explain RPR107``.
+    """
+    normalized = code.strip().upper()
+    for rule in default_rules():
+        if rule.code != normalized:
+            continue
+        lines = [f"{rule.code} — {rule.name}", ""]
+        lines.extend(textwrap.wrap(rule.rationale, width=72))
+        if rule.example:
+            lines.extend(["", "example:", textwrap.indent(rule.example, "  ")])
+        lines.extend(
+            [
+                "",
+                "suppress with:",
+                f"  one line:    # repro-lint: disable={rule.code}",
+                f"  whole file:  # repro-lint: disable-file={rule.code}"
+                "   (in the first 30 lines)",
+                "  repo-wide:   repro-lint --update-baseline",
+            ]
+        )
+        if rule.code == "RPR107":
+            lines.append(
+                "  proven order:  # pragma: repro-lint ordered"
+                "   (site-level justification)"
+            )
+        return "\n".join(lines)
+    known = ", ".join(rule.code for rule in default_rules())
+    raise ValueError(f"unknown rule code: {code!r} (known: {known})")
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     try:
         return _run(argv)
@@ -234,6 +286,13 @@ def _run(argv: Sequence[str] | None) -> int:
 
     if options.list_rules:
         print(_list_rules())
+        return 0
+
+    if options.explain:
+        try:
+            print(explain_rule(options.explain))
+        except ValueError as error:
+            parser.error(str(error))
         return 0
 
     roots = list(options.paths) or [_default_root()]
@@ -261,7 +320,15 @@ def _run(argv: Sequence[str] | None) -> int:
         if unknown:
             parser.error(f"unknown rule code(s): {', '.join(unknown)}")
 
-    result = analyze(roots, default_rules(), select=select)
+    cache = None
+    if not options.no_cache:
+        from .cache import LintCache, find_cache_dir
+
+        cache_dir = find_cache_dir(roots[0])
+        if cache_dir is not None:
+            cache = LintCache(cache_dir)
+
+    result = analyze(roots, default_rules(), select=select, cache=cache)
 
     baseline_path = _resolve_baseline_path(options.baseline, roots)
     if options.update_baseline:

@@ -26,11 +26,16 @@ string naming the rule code it disables.
 from __future__ import annotations
 
 import ast
+import io
 import re
 import tokenize
 from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # import cycle: cache stores engine types
+    from .cache import LintCache
 
 _INLINE_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Z0-9, ]+)")
 _FILE_RE = re.compile(r"#\s*repro-lint:\s*disable-file=([A-Z0-9, ]+)")
@@ -107,6 +112,8 @@ class Rule:
     code: str = "RPR000"
     name: str = "unnamed"
     rationale: str = ""
+    example: str = ""
+    """Optional short before/after snippet shown by ``--explain``."""
     interests: tuple[type[ast.AST], ...] = ()
 
     def check_module(self, module: Module) -> Iterator[Finding]:
@@ -178,16 +185,25 @@ def _parse_suppressions(lines: Sequence[str]) -> tuple[frozenset[str], dict[int,
 def load_module(path: Path, root: Path) -> Module | None:
     """Parse ``path`` into a :class:`Module`, or None on syntax error."""
     try:
-        with tokenize.open(path) as handle:
-            source = handle.read()
+        data = path.read_bytes()
+    except OSError:
+        return None
+    return load_module_bytes(path, path.relative_to(root).as_posix(), data)
+
+
+def load_module_bytes(path: Path, relpath: str, data: bytes) -> Module | None:
+    """Parse already-read bytes into a :class:`Module` (None on error)."""
+    try:
+        encoding, _ = tokenize.detect_encoding(io.BytesIO(data).readline)
+        source = data.decode(encoding)
         tree = ast.parse(source, filename=str(path))
-    except (SyntaxError, UnicodeDecodeError, OSError):
+    except (SyntaxError, UnicodeDecodeError, ValueError):
         return None
     lines = source.splitlines()
     file_suppressions, _ = _parse_suppressions(lines)
     return Module(
         path=path,
-        relpath=path.relative_to(root).as_posix(),
+        relpath=relpath,
         tree=tree,
         lines=lines,
         file_suppressions=file_suppressions,
@@ -230,6 +246,7 @@ def analyze(
     roots: Iterable[Path],
     rules: Sequence[Rule],
     select: Iterable[str] | None = None,
+    cache: "LintCache | None" = None,
 ) -> AnalysisResult:
     """Run ``rules`` over every Python file under each root.
 
@@ -237,6 +254,12 @@ def analyze(
     come back sorted by (path, line, col, rule); inline and file-level
     suppressions are already applied, baseline filtering is the caller's
     job (:func:`repro.analysis.baseline.partition`).
+
+    With a ``cache`` (:class:`repro.analysis.cache.LintCache`), results
+    are memoized on content hashes: an unchanged tree replays the whole
+    run without parsing, and a partially-changed tree re-runs per-file
+    rules only on the files that changed (the whole-program passes always
+    re-run on any change — they see every module at once).
     """
     if select is not None:
         wanted = set(select)
@@ -244,7 +267,10 @@ def analyze(
     per_module_rules = [rule for rule in rules if not isinstance(rule, ProjectRule)]
     project_rules = [rule for rule in rules if isinstance(rule, ProjectRule)]
     result = AnalysisResult()
-    loaded: list[tuple[Module, dict[int, frozenset[str]]]] = []
+
+    # Enumerate and read every file up front so the cache can hash the
+    # tree before any parsing happens.
+    sources: list[tuple[Path, str, bytes | None]] = []
     seen_paths: set[Path] = set()
     for root in roots:
         root = root.resolve()
@@ -258,17 +284,47 @@ def analyze(
             if path in seen_paths:
                 continue  # overlapping roots: scan each file once
             seen_paths.add(path)
-            module = load_module(path, scan_base)
-            if module is None:
-                result.parse_errors.append(str(path))
-                continue
-            result.files_scanned += 1
-            result.paths[module.relpath] = str(module.path)
-            _, line_codes = _parse_suppressions(module.lines)
-            loaded.append((module, line_codes))
-            for finding in _dispatch(per_module_rules, module):
-                if not _suppressed(finding, module, line_codes):
-                    result.findings.append(finding)
+            try:
+                data = path.read_bytes()
+            except OSError:
+                data = None
+            sources.append((path, path.relative_to(scan_base).as_posix(), data))
+
+    codes = ",".join(sorted(rule.code for rule in rules))
+    file_keys: list[str | None] = [None] * len(sources)
+    tree_key = None
+    if cache is not None:
+        file_keys = [
+            cache.file_key(relpath, data, codes) if data is not None else None
+            for _, relpath, data in sources
+        ]
+        tree_key = cache.tree_key([key or "unreadable" for key in file_keys], codes)
+        replayed = cache.get_result(tree_key)
+        if replayed is not None:
+            return replayed
+
+    loaded: list[tuple[Module, dict[int, frozenset[str]]]] = []
+    for (path, relpath, data), file_key in zip(sources, file_keys):
+        module = load_module_bytes(path, relpath, data) if data is not None else None
+        if module is None:
+            result.parse_errors.append(str(path))
+            continue
+        result.files_scanned += 1
+        result.paths[module.relpath] = str(module.path)
+        _, line_codes = _parse_suppressions(module.lines)
+        loaded.append((module, line_codes))
+        cached = cache.get_file(file_key) if cache is not None else None
+        if cached is None:
+            fresh = [
+                finding
+                for finding in _dispatch(per_module_rules, module)
+                if not _suppressed(finding, module, line_codes)
+            ]
+            if cache is not None:
+                cache.put_file(file_key, fresh)
+            result.findings.extend(fresh)
+        else:
+            result.findings.extend(cached)
     if project_rules and loaded:
         modules = [module for module, _ in loaded]
         by_relpath = {module.relpath: (module, codes) for module, codes in loaded}
@@ -280,4 +336,7 @@ def analyze(
                     continue
                 result.findings.append(finding)
     result.findings.sort()
+    if cache is not None and tree_key is not None:
+        cache.put_result(tree_key, result)
+        cache.save()
     return result

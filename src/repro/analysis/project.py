@@ -35,6 +35,29 @@ REFERENCE_DIRS = ("src", "tests", "benchmarks", "examples")
 _REFERENCE_CACHE: dict[Path, frozenset[str]] = {}
 
 
+def _type_checking_nodes(tree: ast.Module) -> set[int]:
+    """ids of nodes inside ``if TYPE_CHECKING:`` bodies (erased at runtime).
+
+    Imports guarded this way exist only for annotations, so they must not
+    contribute edges to the runtime import graph — flagging them as
+    cycles would force real imports where none exist.
+    """
+    erased: set[int] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.If):
+            continue
+        test = node.test
+        is_guard = (isinstance(test, ast.Name) and test.id == "TYPE_CHECKING") or (
+            isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING"
+        )
+        if not is_guard:
+            continue
+        for child in node.body:
+            for sub in ast.walk(child):
+                erased.add(id(sub))
+    return erased
+
+
 @dataclass(frozen=True)
 class ImportEdge:
     """One resolved intra-project import."""
@@ -103,7 +126,10 @@ class Project:
     def _edges_of(self, module: Module) -> list[ImportEdge]:
         edges: list[ImportEdge] = []
         package = list(module.package_parts)
+        erased = _type_checking_nodes(module.tree)
         for node in ast.walk(module.tree):
+            if id(node) in erased:
+                continue  # under `if TYPE_CHECKING:` — no runtime import
             if isinstance(node, ast.ImportFrom):
                 if node.level == 0:
                     anchor: list[str] = []

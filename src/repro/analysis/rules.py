@@ -654,6 +654,7 @@ def _defines_function(path: Path, name: str) -> bool:
 
 def default_rules() -> list[Rule]:
     """One fresh instance of every shipped rule, in code order."""
+    from .dataflow_rules import default_dataflow_rules
     from .project_rules import default_project_rules
 
     return [
@@ -666,4 +667,5 @@ def default_rules() -> list[Rule]:
         ClockDisciplineRule(),
         ParallelismEncapsulationRule(),
         *default_project_rules(),
+        *default_dataflow_rules(),
     ]

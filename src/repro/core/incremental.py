@@ -107,7 +107,8 @@ class IncrementalEulerFD:
             pending: list[FD] = []
             self._seed_empty_lhs(data, pending)
             if self.exhaustive_base:
-                for agree in compute_agree_masks(data, pool=self.pool):
+                # sorted(): canonical admit order for the base profile (RPR107)
+                for agree in sorted(compute_agree_masks(data, pool=self.pool)):
                     self._admit(agree, self._universe & ~agree, pending)
                 self.pairs_compared += data.num_rows * (data.num_rows - 1) // 2
             else:

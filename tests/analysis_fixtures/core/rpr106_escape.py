@@ -1,0 +1,14 @@
+"""RPR106 fixture: a task function closing over mutable coordinator state."""
+
+from __future__ import annotations
+
+
+def fan_out_counts(pool, tasks: list) -> dict:
+    seen: dict = {}
+
+    def task(chunk):
+        seen[chunk[0]] = len(chunk)
+        return chunk
+
+    pool.map_chunks(task, tasks)
+    return seen

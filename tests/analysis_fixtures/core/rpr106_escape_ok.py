@@ -1,0 +1,18 @@
+"""RPR106 clean variant: the capture is rebound immutable before fan-out.
+
+The mutability analysis is flow-sensitive: ``state`` starts as a list
+but is a tuple by the time the task function is dispatched, so no
+finding fires.
+"""
+
+from __future__ import annotations
+
+
+def fan_out_totals(pool, tasks: list) -> tuple:
+    state = [0]
+    state = tuple(state)
+
+    def task(chunk):
+        return (state[0], len(chunk))
+
+    return tuple(pool.map_chunks(task, tasks))

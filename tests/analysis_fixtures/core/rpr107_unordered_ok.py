@@ -1,0 +1,15 @@
+"""RPR107 clean variant: sorted() canonicalizes the set order at source."""
+
+from __future__ import annotations
+
+
+def make_result(fds: list, algorithm: str) -> tuple:
+    return (tuple(fds), algorithm)
+
+
+def collect_sorted(raw: list) -> tuple:
+    masks = set(raw)
+    fds: list = []
+    for mask in sorted(masks):
+        fds.append(mask + 1)
+    return make_result(fds, "fixture")

@@ -1,0 +1,15 @@
+"""RPR107 justified variant: the ordered pragma marks a reviewed site."""
+
+from __future__ import annotations
+
+
+def make_result(fds: list, algorithm: str) -> tuple:
+    return (tuple(fds), algorithm)
+
+
+def collect_first(raw: list) -> tuple:
+    masks = set(raw)
+    fds: list = []
+    for mask in masks:
+        fds.append(mask + 1)
+    return make_result(fds, "fixture")  # pragma: repro-lint ordered

@@ -1,0 +1,17 @@
+"""RPR108 fixture: the historical unguarded 62-column group-key fold.
+
+61 folded binary columns already reach 2^61 distinct keys; one more
+8-label fold crosses 2^64 and wraps int64 (the pre-guard bug in the
+validation kernel).
+"""
+
+from __future__ import annotations
+
+
+def fold_columns(matrix) -> object:
+    keys = matrix[:, 0]
+    for column in range(1, 62):
+        labels = matrix[:, column]
+        cardinality = int(labels.max(initial=0)) + 1
+        keys = keys * cardinality + labels
+    return keys

@@ -1,0 +1,12 @@
+"""RPR108 suppressed variant: inline disable silences the fold."""
+
+from __future__ import annotations
+
+
+def fold_columns_suppressed(matrix) -> object:
+    keys = matrix[:, 0]
+    for column in range(1, 62):
+        labels = matrix[:, column]
+        cardinality = int(labels.max(initial=0)) + 1
+        keys = keys * cardinality + labels  # repro-lint: disable=RPR108
+    return keys

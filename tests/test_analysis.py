@@ -42,6 +42,9 @@ EXPECTED_FIXTURE_RULES = {
     "core/rpr101_cycle_b.py": "RPR101",
     "core/rpr102_contract.py": "RPR102",
     "deadpkg/__init__.py": "RPR103",
+    "core/rpr106_escape.py": "RPR106",
+    "core/rpr107_unordered.py": "RPR107",
+    "relation/rpr108_overflow.py": "RPR108",
 }
 
 
