@@ -180,24 +180,28 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    baseline = {
-        "bench": "BENCH_5",
-        "description": (
-            "parallel-engine baseline: algorithm wall-clock, kernel "
-            "micro-benchmarks and the seen-dict micro-optimization, "
-            "serial vs a worker pool"
-        ),
-        "host": {
-            "cpu_count": os.cpu_count(),
-            "python": platform.python_version(),
-            "platform": platform.platform(),
-        },
-        "jobs": args.jobs,
-        "algorithms": _algorithm_matrix(args.jobs),
-        "kernels": _kernel_micro(args.jobs),
-        "seen_dict_micro": _seen_dict_micro(),
-    }
-    close_all_pools()
+    try:
+        baseline = {
+            "bench": "BENCH_5",
+            "description": (
+                "parallel-engine baseline: algorithm wall-clock, kernel "
+                "micro-benchmarks and the seen-dict micro-optimization, "
+                "serial vs a worker pool"
+            ),
+            "host": {
+                "cpu_count": os.cpu_count(),
+                "python": platform.python_version(),
+                "platform": platform.platform(),
+            },
+            "jobs": args.jobs,
+            "algorithms": _algorithm_matrix(args.jobs),
+            "kernels": _kernel_micro(args.jobs),
+            "seen_dict_micro": _seen_dict_micro(),
+        }
+    finally:
+        # A crashed workload must still unlink published segments; only
+        # the atexit hook would otherwise stand between us and orphans.
+        close_all_pools()
     output = Path(args.output)
     output.parent.mkdir(parents=True, exist_ok=True)
     output.write_text(json.dumps(baseline, indent=2) + "\n", encoding="utf-8")

@@ -11,7 +11,11 @@ docstring contracts against inferred mutation summaries (RPR102), and
 dead ``__all__`` exports (RPR103), plus three *flow-sensitive* rules
 built on the CFG/dataflow layer (:mod:`repro.analysis.cfg`,
 :mod:`repro.analysis.dataflow`): parallel-state escape (RPR106),
-merge-order sensitivity (RPR107), and numeric-width overflow (RPR108).
+merge-order sensitivity (RPR107), and numeric-width overflow (RPR108),
+and three *typestate* rules (:mod:`repro.analysis.lifecycle`) checking
+the engine's must-release resource protocols — leak-on-path (RPR109),
+use-after-release (RPR110), and release-order violations (RPR111) —
+against ``Owns:``/``Borrows:`` ownership declarations.
 Results are memoized on content hashes (:mod:`repro.analysis.cache`;
 ``--no-cache`` bypasses), ``repro-lint --explain RPR107`` documents any
 rule, and ``repro-lint --sanitize OUTDIR`` additionally emits a shadow

@@ -37,6 +37,14 @@ dataflow rules (RPR107/RPR108) into the sanitized tree:
   distinct-group count with unbounded Python ints and asserts the int64
   result kept every ``(key, label)`` pair distinct: a silent 2^64 wrap
   shows up as collided groups.
+* ``live_resources`` (on ``WorkerPool.close``) — the runtime half of the
+  typestate rules (RPR109–RPR111).  Per call it asserts the closed pool
+  really released everything (no surviving publications or executor) and
+  that no ``repro_shm_<pid>_*`` segment of this process lingers in
+  ``/dev/shm`` without a live owning pool; installing the probe also
+  registers a process-exit check (running after ``close_all_pools``)
+  that asserts zero surviving own-pid segments and a balanced
+  ``use_context`` stack, exiting non-zero on violation so CI fails.
 
 Probes budget separately (``REPRO_PROBES_MAX_CHECKS``, default 32 — they
 re-run kernels, so they are costlier than snapshots) and can be disabled
@@ -166,9 +174,118 @@ def _check_fold_overflow(
         )
 
 
+def _segment_prefix(package: str) -> str:
+    """The engine's shared-memory name prefix, read from its shm module."""
+    import sys
+
+    shm = sys.modules.get(package + ".shm")
+    return getattr(shm, "SEGMENT_PREFIX", "repro_shm_")
+
+
+def _own_segments(prefix: str) -> set[str]:
+    """``/dev/shm`` entries this process created (empty off-Linux)."""
+    directory = "/dev/shm"
+    if not os.path.isdir(directory):
+        return set()
+    marker = f"{prefix}{os.getpid()}_"
+    try:
+        return {name for name in os.listdir(directory) if name.startswith(marker)}
+    except OSError:  # pragma: no cover - directory vanished mid-scan
+        return set()
+
+
+def _pool_owned_segments(pool_type: type) -> set[str]:
+    """Segment names some live pool still legitimately owns."""
+    import gc
+
+    owned: set[str] = set()
+    for candidate in gc.get_objects():
+        if not isinstance(candidate, pool_type):
+            continue
+        for entry in list(getattr(candidate, "_published", {}).values()):
+            name = getattr(entry[1], "name", None)
+            if name:
+                owned.add(name)
+    return owned
+
+
+def _check_live_resources(
+    func: Callable, args: tuple, kwargs: dict, result: object
+) -> None:
+    """After ``close()``: the pool holds nothing, and every surviving
+    own-pid segment belongs to some other still-open pool."""
+    if kwargs or len(args) != 1:
+        return
+    pool = args[0]
+    if getattr(pool, "_published", None):
+        raise ProbeViolation(
+            "WorkerPool.close: shared-memory publications survived close()"
+        )
+    if getattr(pool, "_executor", None) is not None:
+        raise ProbeViolation("WorkerPool.close: the executor survived close()")
+    package = type(pool).__module__.rsplit(".", 1)[0]
+    leftovers = _own_segments(_segment_prefix(package))
+    if not leftovers:
+        return
+    orphans = leftovers - _pool_owned_segments(type(pool))
+    if orphans:
+        raise ProbeViolation(
+            "WorkerPool.close: shared-memory segment(s) with no live "
+            f"owning pool remain in /dev/shm: {sorted(orphans)}"
+        )
+
+
+_EXIT_CHECK = {"registered": False}
+
+
+def _exit_live_resources_check(module_name: str) -> None:
+    """Process-exit assertion: no own-pid segments, balanced contexts.
+
+    Runs after ``close_all_pools`` (registered earlier, so LIFO ordering
+    runs it first).  A violation prints the probe failure and exits
+    non-zero — an ``atexit`` exception alone would not fail CI.
+    """
+    import gc
+    import sys
+
+    gc.collect()  # run __del__ closers of directly-constructed pools
+    package = module_name.rsplit(".", 1)[0]
+    problems: list[str] = []
+    leftovers = _own_segments(_segment_prefix(package))
+    if leftovers:
+        problems.append(
+            f"shared-memory segment(s) leaked past interpreter exit: "
+            f"{sorted(leftovers)}"
+        )
+    context = sys.modules.get(package + ".context")
+    stack = getattr(getattr(context, "_ACTIVE", None), "stack", None)
+    if stack:
+        problems.append(
+            f"execution-context stack unbalanced at exit: {len(stack)} "
+            "frame(s) never popped"
+        )
+    if problems:
+        print(
+            "ProbeViolation: live-resource exit check failed: "
+            + "; ".join(problems),
+            file=sys.stderr,
+        )
+        os._exit(70)
+
+
+def _register_exit_check(func: Callable) -> None:
+    if _EXIT_CHECK["registered"]:
+        return
+    _EXIT_CHECK["registered"] = True
+    import atexit
+
+    atexit.register(_exit_live_resources_check, func.__module__)
+
+
 _PROBE_CHECKS: dict[str, Callable] = {
     "shard_permutation": _check_shard_permutation,
     "fold_overflow": _check_fold_overflow,
+    "live_resources": _check_live_resources,
 }
 
 
@@ -179,6 +296,8 @@ def probe(name: str) -> Callable:
         check = _PROBE_CHECKS.get(name)
         if check is None or _probes_disabled():
             return func
+        if name == "live_resources":
+            _register_exit_check(func)
         budget = _probes_max_checks()
         state = {"checks": 0}
 

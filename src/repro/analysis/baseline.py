@@ -18,10 +18,11 @@ from pathlib import Path
 from .engine import Finding
 
 _SEPARATOR = "\t"
-_VERSION = 2
-"""Bumped to 2 with the dataflow rules (RPR106-RPR108): their findings
+_VERSION = 3
+"""Bumped to 3 with the typestate rules (RPR109-RPR111): their findings
 join the key space, so any baseline written before they existed must be
-regenerated rather than silently treated as complete."""
+regenerated rather than silently treated as complete.  (Version 2 added
+the dataflow rules RPR106-RPR108 for the same reason.)"""
 
 
 def _key(finding: Finding) -> str:

@@ -6,6 +6,8 @@ Examples::
     repro-lint src/repro tests        # explicit roots
     repro-lint --format json          # machine-readable findings
     repro-lint --format github        # ::error workflow annotations (CI)
+    repro-lint --format sarif         # SARIF 2.1.0 (code-scanning upload)
+    repro-lint --changed              # report only git-touched files
     repro-lint --select RPR001,RPR004 # subset of rules
     repro-lint --update-baseline      # grandfather the current findings
     repro-lint --list-rules           # document every rule code
@@ -45,9 +47,11 @@ def build_parser() -> argparse.ArgumentParser:
             "Static analysis for the EulerFD reproduction: per-file "
             "lint (RPR001-RPR006), whole-program import-layering, "
             "purity-contract, and dead-export passes (RPR101-RPR103), "
-            "and flow-sensitive dataflow rules for parallel-state "
+            "flow-sensitive dataflow rules for parallel-state "
             "escape, merge-order sensitivity, and numeric-width "
-            "overflow (RPR106-RPR108)."
+            "overflow (RPR106-RPR108), and typestate resource-lifecycle "
+            "rules for leaks, use-after-release, and release-protocol "
+            "violations (RPR109-RPR111)."
         ),
     )
     parser.add_argument(
@@ -58,11 +62,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json", "github"),
+        choices=("text", "json", "github", "sarif"),
         default="text",
         help=(
             "output format (default: text); 'github' emits ::error "
-            "workflow annotations plus the text summary"
+            "workflow annotations plus the text summary, 'sarif' a "
+            "SARIF 2.1.0 log for code-scanning upload"
+        ),
+    )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help=(
+            "report findings only for files the git working tree "
+            "touches (diff against HEAD plus untracked files); the full "
+            "scan still runs so cross-file rules stay sound, only the "
+            "report is scoped"
         ),
     )
     parser.add_argument(
@@ -180,6 +195,133 @@ def _render_json(
     )
 
 
+def _display_path(finding: Finding, result: AnalysisResult) -> str:
+    """Map a scan-root-relative finding path back to a cwd-relative one.
+
+    GitHub (annotations and SARIF alike) attaches findings to the diff
+    only when paths are workspace-relative, so the absolute paths the
+    engine recorded are preferred over the scan-relative spelling.
+    """
+    recorded = result.paths.get(finding.path)
+    if recorded is None:
+        return finding.path
+    try:
+        return Path(recorded).relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return recorded
+
+
+def _render_sarif(
+    new: list[Finding], grandfathered: list[Finding], result: AnalysisResult
+) -> str:
+    """A SARIF 2.1.0 log: one run, rule metadata, one result per finding.
+
+    Baselined findings are included with an external suppression rather
+    than dropped, so code-scanning shows them as closed instead of
+    re-opening them on every upload.  Columns are 1-based in SARIF;
+    findings carry ast's 0-based ``col_offset``.
+    """
+    rules = default_rules()
+    rule_index = {rule.code: position for position, rule in enumerate(rules)}
+
+    def encode(finding: Finding, suppressed: bool) -> dict[str, object]:
+        sarif_result: dict[str, object] = {
+            "ruleId": finding.rule,
+            "ruleIndex": rule_index.get(finding.rule, -1),
+            "level": "note" if suppressed else "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _display_path(finding, result),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if suppressed:
+            sarif_result["suppressions"] = [{"kind": "external"}]
+        return sarif_result
+
+    log = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://github.com/repro/eulerfd-repro"
+                        ),
+                        "rules": [
+                            {
+                                "id": rule.code,
+                                "name": rule.name,
+                                "shortDescription": {"text": rule.name},
+                                "fullDescription": {"text": rule.rationale},
+                                "defaultConfiguration": {"level": "error"},
+                            }
+                            for rule in rules
+                        ],
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": Path.cwd().as_uri() + "/"}
+                },
+                "results": [
+                    *(encode(finding, False) for finding in new),
+                    *(encode(finding, True) for finding in grandfathered),
+                ],
+            }
+        ],
+    }
+    return json.dumps(log, indent=2)
+
+
+def _changed_files(parser: argparse.ArgumentParser) -> set[str]:
+    """Absolute paths the working tree touches: diff vs HEAD + untracked."""
+    import subprocess
+
+    def run(*arguments: str) -> list[str]:
+        completed = subprocess.run(
+            ["git", *arguments],
+            capture_output=True,
+            text=True,
+        )
+        if completed.returncode != 0:
+            parser.error(
+                "--changed requires a git checkout: "
+                + completed.stderr.strip().splitlines()[-1]
+            )
+        return [line for line in completed.stdout.splitlines() if line]
+
+    toplevel = Path(run("rev-parse", "--show-toplevel")[0])
+    changed = run("diff", "--name-only", "HEAD")
+    untracked = run("ls-files", "--others", "--exclude-standard")
+    return {
+        str((toplevel / relative).resolve())
+        for relative in (*changed, *untracked)
+    }
+
+
+def _scope_to_changed(
+    findings: list[Finding], result: AnalysisResult, changed: set[str]
+) -> list[Finding]:
+    return [
+        finding
+        for finding in findings
+        if str(Path(result.paths.get(finding.path, finding.path)).resolve())
+        in changed
+    ]
+
+
 def _annotation_escape(text: str) -> str:
     """Escape a message for a GitHub workflow-command property/value."""
     return (
@@ -196,16 +338,9 @@ def _render_github(
     them to the diff, so the scan-root-relative finding paths are mapped
     back through the absolute paths the engine recorded.
     """
-    cwd = Path.cwd()
     lines = []
     for finding in new:
-        recorded = result.paths.get(finding.path)
-        display = finding.path
-        if recorded is not None:
-            try:
-                display = Path(recorded).relative_to(cwd).as_posix()
-            except ValueError:
-                display = recorded
+        display = _display_path(finding, result)
         lines.append(
             f"::error file={_annotation_escape(display)},"
             f"line={finding.line},col={finding.col},"
@@ -261,6 +396,24 @@ def explain_rule(code: str) -> str:
             lines.append(
                 "  proven order:  # pragma: repro-lint ordered"
                 "   (site-level justification)"
+            )
+        if rule.code in ("RPR109", "RPR110", "RPR111"):
+            lines.extend(
+                [
+                    "",
+                    "declare ownership in the docstring instead of "
+                    "suppressing:",
+                    "  Owns: return           (caller must release the "
+                    "returned handle)",
+                    "  Owns: return via call  ((handle, cleanup) pair; "
+                    "caller calls cleanup)",
+                    "  Owns: self             (a later method of the same "
+                    "object releases it)",
+                    "  Owns: p via <protocol> (function takes over "
+                    "releasing parameter p)",
+                    "  Borrows: p, q          (parameters used but never "
+                    "released here)",
+                ]
             )
         return "\n".join(lines)
     known = ", ".join(rule.code for rule in default_rules())
@@ -348,10 +501,17 @@ def _run(argv: Sequence[str] | None) -> int:
     else:
         new, grandfathered = result.findings, []
 
+    if options.changed:
+        changed = _changed_files(parser)
+        new = _scope_to_changed(new, result, changed)
+        grandfathered = _scope_to_changed(grandfathered, result, changed)
+
     if options.format == "json":
         print(_render_json(new, grandfathered, result))
     elif options.format == "github":
         print(_render_github(new, grandfathered, result))
+    elif options.format == "sarif":
+        print(_render_sarif(new, grandfathered, result))
     else:
         print(_render_text(new, grandfathered, result))
 

@@ -68,6 +68,19 @@ class ForwardAnalysis:
         """State entering the ``true``/``false`` edge of a branch."""
         return state
 
+    def exceptional(self, entry: object, exit_state: object, block) -> object:
+        """State carried along an ``"except"`` edge out of ``block``.
+
+        The raise may have interrupted the block anywhere between its
+        entry and its exit, so the sound handler state lies between the
+        two.  The default keeps the historical coarse choice — the block
+        output — which over-approximates facts *established* in the
+        block; analyses tracking facts that a mid-block raise can undo
+        (the typestate rules: a binding that may not have happened yet)
+        override this to fold ``entry`` back in.
+        """
+        return exit_state
+
 
 def block_output(analysis: ForwardAnalysis, state: object, block) -> object:
     """Push a block input state through every statement of the block."""
@@ -102,6 +115,8 @@ def run_forward(cfg: CFG, analysis: ForwardAnalysis) -> list[object]:
                 edge_state = analysis.refine(out, block.test, label == "true")
             if block.loop is not None and label == "true":
                 edge_state = analysis.transfer_loop(out, block.loop)
+            if label == "except":
+                edge_state = analysis.exceptional(state, out, block)
             existing = in_states[target]
             if existing is None:
                 merged = edge_state

@@ -655,6 +655,7 @@ def _defines_function(path: Path, name: str) -> bool:
 def default_rules() -> list[Rule]:
     """One fresh instance of every shipped rule, in code order."""
     from .dataflow_rules import default_dataflow_rules
+    from .lifecycle import default_lifecycle_rules
     from .project_rules import default_project_rules
 
     return [
@@ -668,4 +669,5 @@ def default_rules() -> list[Rule]:
         ParallelismEncapsulationRule(),
         *default_project_rules(),
         *default_dataflow_rules(),
+        *default_lifecycle_rules(),
     ]

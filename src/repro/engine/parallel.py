@@ -299,6 +299,10 @@ class WorkerPool:
     # -- execution --------------------------------------------------------
 
     def _ensure_executor(self) -> Executor:
+        """Lazily build the executor the pool shuts down in :meth:`close`.
+
+        Owns: self
+        """
         if self._closed:
             raise RuntimeError("worker pool is closed")
         if self._executor is None:
@@ -410,6 +414,22 @@ class WorkerPool:
         if error is not None:  # pragma: no cover - defensive
             raise error
 
+    def __enter__(self) -> "WorkerPool":
+        """Use the pool as a context manager; :meth:`close` runs on exit."""
+        return self
+
+    def __exit__(
+        self,
+        exc_type: "type[BaseException] | None",
+        exc_value: "BaseException | None",
+        traceback: "object | None",
+    ) -> None:
+        """Close the pool on block exit, exceptional or not.
+
+        Mutates: self
+        """
+        self.close()
+
     def __del__(self) -> None:  # pragma: no cover - GC timing dependent
         try:
             self.close()
@@ -469,6 +489,8 @@ def agree_masks_sharded(
     observe the serial sequence.  Small batches — fewer than ``jobs ×``
     :data:`MIN_PAIRS_PER_WORKER` pairs — run inline: the comparison is
     one vectorized numpy call and not worth a dispatch.
+
+    Borrows: pool
     """
     if pool.is_serial or len(rows_a) < pool.jobs * MIN_PAIRS_PER_WORKER:
         return data.agree_masks_bulk(rows_a, rows_b)
@@ -490,6 +512,8 @@ def distinct_agree_masks_sharded(pool: WorkerPool, data: Any) -> set[int]:
     set receives new elements in exactly the serial scan's insertion
     sequence — so even downstream code iterating the set sees identical
     order at any worker count.
+
+    Borrows: pool
     """
     num_rows = data.num_rows
     if pool.is_serial or num_rows < 2 or (
@@ -528,6 +552,8 @@ def validate_groups_sharded(
     chunk index; each group's keys are folded exactly once inside one
     worker (a group never straddles chunks), preserving the serial
     fold-per-distinct-LHS accounting.
+
+    Borrows: pool
     """
     handle = pool.matrix_handle(data.matrix)
     tasks = [
@@ -546,5 +572,7 @@ def run_cells_sharded(
 
     ``fn`` must be module-level (process pools pickle it by reference);
     results come back in payload order.
+
+    Borrows: pool
     """
     return pool.map_chunks(_call_task, [(fn, payload) for payload in payloads])

@@ -84,6 +84,35 @@ def _next_segment_name() -> str:
     return f"{SEGMENT_PREFIX}{os.getpid()}_{_SEQUENCE}"
 
 
+def _discard_segment(segment: object) -> None:
+    """Close and unlink one segment this module created.
+
+    Owns: segment via shm-segment
+    """
+    try:
+        segment.close()
+    except BufferError:  # pragma: no cover - a view still exports buf
+        # The mapping dies with the last view; unlinking below is
+        # what removes the name from /dev/shm, so never skip it.
+        pass
+    try:
+        segment.unlink()
+    except FileNotFoundError:  # pragma: no cover - already unlinked
+        pass
+
+
+def _pickled_handle(matrix: np.ndarray) -> tuple[object, Callable[[], None]]:
+    """The pickle fallback: handle carries the bytes, cleanup is a no-op."""
+    return (
+        PickledMatrix(
+            payload=matrix.tobytes(),
+            shape=(int(matrix.shape[0]), int(matrix.shape[1])),
+            dtype=str(matrix.dtype),
+        ),
+        lambda: None,
+    )
+
+
 def publish_matrix(
     matrix: np.ndarray, *, use_shared_memory: bool | None = None
 ) -> tuple[object, Callable[[], None]]:
@@ -94,29 +123,36 @@ def publish_matrix(
     a :class:`SharedMatrixRef`; the cleanup callable closes and unlinks
     the segment and is safe to call more than once.  Otherwise the
     fallback :class:`PickledMatrix` carries the bytes and cleanup is a
-    no-op.
+    no-op.  A publish that fails mid-way never orphans a segment:
+    creation failures (``/dev/shm`` full, shm denied at runtime) degrade
+    to the pickle fallback, and a failure after creation discards the
+    half-built segment before re-raising.
+
+    Owns: return via call
     """
     if use_shared_memory is None:
         use_shared_memory = HAVE_SHARED_MEMORY
     if not use_shared_memory or not HAVE_SHARED_MEMORY:
-        return (
-            PickledMatrix(
-                payload=matrix.tobytes(),
-                shape=(int(matrix.shape[0]), int(matrix.shape[1])),
-                dtype=str(matrix.dtype),
-            ),
-            lambda: None,
+        return _pickled_handle(matrix)
+    try:
+        segment = shared_memory.SharedMemory(
+            create=True, size=max(matrix.nbytes, 1), name=_next_segment_name()
         )
-    segment = shared_memory.SharedMemory(
-        create=True, size=max(matrix.nbytes, 1), name=_next_segment_name()
-    )
-    view = np.ndarray(matrix.shape, dtype=matrix.dtype, buffer=segment.buf)
-    view[:] = matrix
-    handle = SharedMatrixRef(
-        name=segment.name,
-        shape=(int(matrix.shape[0]), int(matrix.shape[1])),
-        dtype=str(matrix.dtype),
-    )
+    except OSError:  # pragma: no cover - /dev/shm exhausted or denied
+        return _pickled_handle(matrix)
+    try:
+        view = np.ndarray(matrix.shape, dtype=matrix.dtype, buffer=segment.buf)
+        view[:] = matrix
+        handle = SharedMatrixRef(
+            name=segment.name,
+            shape=(int(matrix.shape[0]), int(matrix.shape[1])),
+            dtype=str(matrix.dtype),
+        )
+    except BaseException:
+        # e.g. a dtype/shape mismatch raised by the copy: without this
+        # the named segment would outlive the failed publish (RPR109).
+        _discard_segment(segment)
+        raise
     done = False
 
     def cleanup() -> None:
@@ -124,16 +160,7 @@ def publish_matrix(
         if done:
             return
         done = True
-        try:
-            segment.close()
-        except BufferError:  # pragma: no cover - a view still exports buf
-            # The mapping dies with the last view; unlinking below is
-            # what removes the name from /dev/shm, so never skip it.
-            pass
-        try:
-            segment.unlink()
-        except FileNotFoundError:  # pragma: no cover - already unlinked
-            pass
+        _discard_segment(segment)
 
     return handle, cleanup
 

@@ -315,8 +315,12 @@ def recording(recorder: Recorder | None = None) -> Iterator[Recorder]:
 def span(name: str, **attrs: Any) -> SpanHandle | _NullSpan:
     """Open a span on the active recorder; no-op when tracing is off.
 
+    The caller must exit the handle (``with span(...)``) — entering and
+    never exiting corrupts the recorder's open-span stack.
+
     Pure: never mutates its arguments (the fast-path promise hot loops
         rely on; the write goes to the thread-local recorder, if any).
+    Owns: return
     """
     recorder = getattr(_ACTIVE, "recorder", None)
     if recorder is None:

@@ -5,4 +5,8 @@ from concurrent.futures import ThreadPoolExecutor
 
 
 def spawn_pool() -> ThreadPoolExecutor:
+    """Hand a fresh executor to the caller.
+
+    Owns: return
+    """
     return ThreadPoolExecutor(max_workers=multiprocessing.cpu_count())

@@ -1,0 +1,1 @@
+"""Fixture package (mirrors the src layout for path-scoped rules)."""

@@ -1,0 +1,12 @@
+"""RPR109 fixture: the early return skips the handle's release."""
+
+from __future__ import annotations
+
+
+def load(path: str) -> bytes:
+    handle = open(path)
+    data = handle.read()
+    if not data:
+        return b""
+    handle.close()
+    return data

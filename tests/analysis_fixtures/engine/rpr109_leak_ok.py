@@ -1,0 +1,11 @@
+"""RPR109 clean variant: try/finally releases on every path."""
+
+from __future__ import annotations
+
+
+def load(path: str) -> bytes:
+    handle = open(path)
+    try:
+        return handle.read()
+    finally:
+        handle.close()

@@ -1,0 +1,12 @@
+"""RPR109 suppressed variant: inline disable on the acquisition line."""
+
+from __future__ import annotations
+
+
+def load(path: str) -> bytes:
+    handle = open(path)  # repro-lint: disable=RPR109
+    data = handle.read()
+    if not data:
+        return b""
+    handle.close()
+    return data

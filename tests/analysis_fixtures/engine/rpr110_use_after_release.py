@@ -1,0 +1,10 @@
+"""RPR110 fixture: attribute access on a must-released handle."""
+
+from __future__ import annotations
+
+
+def slurp(path: str) -> str:
+    handle = open(path)
+    text = handle.read()
+    handle.close()
+    return text + handle.name

@@ -1,0 +1,10 @@
+"""RPR110 clean variant: every use happens before the release."""
+
+from __future__ import annotations
+
+
+def slurp(path: str) -> str:
+    handle = open(path)
+    text = handle.read() + handle.name
+    handle.close()
+    return text

@@ -1,0 +1,10 @@
+"""RPR110 suppressed variant: inline disable on the stale use."""
+
+from __future__ import annotations
+
+
+def slurp(path: str) -> str:
+    handle = open(path)
+    text = handle.read()
+    handle.close()
+    return text + handle.name  # repro-lint: disable=RPR110

@@ -1,0 +1,13 @@
+"""RPR111 fixture: unlink before close on a shared-memory segment.
+
+``SharedMemory`` is deliberately unimported: the fixture is parsed, not
+executed, and importing ``multiprocessing`` here would trip RPR105.
+"""
+
+from __future__ import annotations
+
+
+def teardown(size: int) -> None:
+    segment = SharedMemory(create=True, size=size)
+    segment.unlink()
+    segment.close()

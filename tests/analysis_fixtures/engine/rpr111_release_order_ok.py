@@ -1,0 +1,9 @@
+"""RPR111 clean variant: the protocol's steps in declared order."""
+
+from __future__ import annotations
+
+
+def teardown(size: int) -> None:
+    segment = SharedMemory(create=True, size=size)
+    segment.close()
+    segment.unlink()

@@ -1,0 +1,9 @@
+"""RPR111 suppressed variant: inline disable on the early unlink."""
+
+from __future__ import annotations
+
+
+def teardown(size: int) -> None:
+    segment = SharedMemory(create=True, size=size)
+    segment.unlink()  # repro-lint: disable=RPR111
+    segment.close()

@@ -45,6 +45,9 @@ EXPECTED_FIXTURE_RULES = {
     "core/rpr106_escape.py": "RPR106",
     "core/rpr107_unordered.py": "RPR107",
     "relation/rpr108_overflow.py": "RPR108",
+    "engine/rpr109_leak.py": "RPR109",
+    "engine/rpr110_use_after_release.py": "RPR110",
+    "engine/rpr111_release_order.py": "RPR111",
 }
 
 

@@ -259,6 +259,24 @@ class TestMatrixTransport:
         with pytest.raises(RuntimeError, match="closed"):
             pool.matrix_handle(sample_data.matrix)
 
+    def test_pool_is_a_context_manager(self, sample_data, tiny_thresholds):
+        before = set(glob.glob(f"/dev/shm/{shm.SEGMENT_PREFIX}*"))
+        with WorkerPool(PoolSpec("process", 2)) as pool:
+            assert pool.jobs == 2
+            parallel.agree_masks_sharded(
+                pool, sample_data, list(range(100)), list(range(50, 150))
+            )
+        assert pool._published == {}
+        assert set(glob.glob(f"/dev/shm/{shm.SEGMENT_PREFIX}*")) - before == set()
+
+    def test_pool_context_manager_closes_on_error(self):
+        pool = WorkerPool(PoolSpec("thread", 2))
+        with pytest.raises(RuntimeError, match="boom"):
+            with pool:
+                raise RuntimeError("boom")
+        with pytest.raises(RuntimeError, match="closed"):
+            pool._ensure_executor()
+
 
 # -- bench-harness surface -----------------------------------------------------
 

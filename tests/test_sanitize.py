@@ -222,6 +222,22 @@ class TestSanitizeStructure:
         instrumented = (outdir / package.name / "kern.py").read_text()
         assert "# repro-lint: disable-file=RPR002" in instrumented
 
+    def test_ordered_pragmas_become_a_file_level_pass(self, tmp_path):
+        # ast.unparse loses the site-level `# pragma: repro-lint ordered`
+        # comments RPR107 reads, so an instrumented module that had any
+        # must carry a file-level RPR107 pass in the shadow copy.
+        package, outdir = _build(
+            tmp_path,
+            """\
+            def merge(parts: list) -> set:
+                '''Pure: parts'''
+                return set(parts)  # pragma: repro-lint ordered
+            """,
+        )
+        sanitize_package(package, outdir)
+        instrumented = (outdir / package.name / "kern.py").read_text()
+        assert "disable-file=RPR107" in instrumented
+
     def test_grammar_error_contracts_are_skipped_not_enforced(self, tmp_path):
         package, outdir = _build(
             tmp_path,
