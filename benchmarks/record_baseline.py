@@ -1,22 +1,21 @@
-"""Record the parallel-engine perf baseline: ``results/BENCH_5.json``.
+"""Deprecated shim: the perf baseline now lives in ``repro-bench record``.
 
-Measures, on this host:
+This script recorded the PR-5 parallel-engine snapshot
+(``results/BENCH_5.json``) in an ad-hoc layout.  The benchmark
+trajectory since moved to the stable ``repro-bench/1`` schema of
+:mod:`repro.bench.trajectory` — recorded with ``repro-bench record``,
+gated with ``repro-bench compare`` — and the legacy BENCH_5 file stays
+readable through the loader's built-in adapter.
 
-* full-algorithm wall-clock (EulerFD / HyFD / Fdep) on three synthetic
-  generator workloads, serial vs a 4-worker process pool, with each
-  run's partition-cache traffic and parallel efficiency;
-* the two sharded kernels in isolation (pair agree-masks and batched
-  validation), serial vs the pool;
-* the seen-dict micro-optimization (single-lookup admit vs the doubled
-  ``dict.get`` it replaced) on a replayed admission stream.
+Invoking this script still works: it warns, maps the historical
+``--jobs`` / ``--output`` flags onto the new recorder, and delegates.
 
-The committed JSON records whatever the recording host produced —
-including ``host.cpu_count``, which is the number to read first: on a
-single-core container the process pool *cannot* win and the file shows
-the dispatch overhead honestly; CI regenerates the file on multi-core
-runners and uploads it as an artifact.
+Usage (preferred)::
 
-Usage::
+    PYTHONPATH=src python -m repro.bench.trajectory record \
+        --output benchmarks/results/BENCH_9.json
+
+Usage (legacy, delegates to the above)::
 
     PYTHONPATH=src python benchmarks/record_baseline.py \
         [--jobs process:4] [--output benchmarks/results/BENCH_5.json]
@@ -25,197 +24,36 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
-import os
-import platform
 import sys
+import warnings
 from pathlib import Path
-from typing import Any
 
-from repro.algorithms import create
-from repro.bench.runner import run_algorithm
-from repro.datasets import registry
-from repro.engine import ExecutionContext, close_all_pools, get_pool
-from repro.engine.parallel import agree_masks_sharded
-from repro.fd import attrset
-from repro.metrics import timed
-from repro.relation.preprocess import preprocess
-
-#: (dataset, rows, seed) — bench-scale cuts of the synthetic generators.
-WORKLOADS = [
-    ("fd-reduced-30", 2000, 5),
-    ("plista", 300, 5),
-    ("uniprot", 200, 5),
-]
-
-ALGORITHMS = ["eulerfd", "hyfd", "fdep"]
-
-
-def _measure_run(algorithm: str, relation: Any, jobs: str | None) -> dict[str, Any]:
-    run = run_algorithm(
-        create(algorithm).__class__, relation, jobs=jobs
-    )
-    return {
-        "seconds": run.seconds,
-        "fd_count": len(run.fds) if run.fds is not None else None,
-        "jobs": run.jobs,
-        "parallel_efficiency": run.parallel_efficiency,
-        "partition_cache": run.partition_cache,
-        "pairs_compared": run.stats.get("pairs_compared"),
-    }
-
-
-def _algorithm_matrix(jobs: str) -> dict[str, Any]:
-    matrix: dict[str, Any] = {}
-    for name, rows, seed in WORKLOADS:
-        relation = registry.make(name, rows=rows, seed=seed)
-        label = f"{name}[{rows}x{relation.num_columns}]"
-        matrix[label] = {}
-        for algorithm in ALGORITHMS:
-            serial = _measure_run(algorithm, relation, None)
-            fanned = _measure_run(algorithm, relation, jobs)
-            matrix[label][algorithm] = {
-                "serial": serial,
-                jobs: fanned,
-                "speedup": (
-                    serial["seconds"] / fanned["seconds"]
-                    if fanned["seconds"]
-                    else None
-                ),
-            }
-    return matrix
-
-
-def _kernel_micro(jobs: str) -> dict[str, Any]:
-    relation = registry.make("fd-reduced-30", rows=2000, seed=5)
-    data = preprocess(relation, True)
-    rows_a = [pair % (data.num_rows - 1) for pair in range(120_000)]
-    rows_b = [pair + 1 for pair in rows_a]
-    serial_pool, fan_pool = get_pool(None), get_pool(jobs)
-    serial = timed(
-        lambda: agree_masks_sharded(serial_pool, data, rows_a, rows_b), repeats=3
-    )
-    fanned = timed(
-        lambda: agree_masks_sharded(fan_pool, data, rows_a, rows_b), repeats=3
-    )
-    candidates = list(create("fdep").discover(relation).fds)
-    serial_ctx = ExecutionContext(relation)
-    fan_ctx = ExecutionContext(relation, jobs=jobs)
-    validate_serial = timed(
-        lambda: serial_ctx.validate_many(candidates, witnesses=True), repeats=3
-    )
-    validate_fanned = timed(
-        lambda: fan_ctx.validate_many(candidates, witnesses=True), repeats=3
-    )
-    return {
-        "agree_masks": {
-            "pairs": len(rows_a),
-            "serial_seconds": serial.seconds,
-            f"{jobs}_seconds": fanned.seconds,
-            "speedup": serial.seconds / fanned.seconds,
-        },
-        "validate_many": {
-            "candidates": len(candidates),
-            "serial_seconds": validate_serial.seconds,
-            f"{jobs}_seconds": validate_fanned.seconds,
-            "speedup": validate_serial.seconds / validate_fanned.seconds,
-        },
-    }
-
-
-def _seen_dict_micro() -> dict[str, Any]:
-    """Replay an admission stream through both seen-dict access patterns.
-
-    The sampler/incremental admit path used to probe the seen-dict twice
-    per mask (``seen.get`` to test, then ``seen.get`` again to store);
-    the shipped code reads once and reuses the value.  Replaying the
-    same recorded stream through both shapes isolates the dictionary
-    cost from everything else the admit path does.
-    """
-    relation = registry.make("fd-reduced-30", rows=2000, seed=5)
-    data = preprocess(relation, True)
-    universe = attrset.universe(data.num_columns)
-    rows_a = [pair % (data.num_rows - 1) for pair in range(60_000)]
-    rows_b = [pair + 1 for pair in rows_a]
-    stream = data.agree_masks_bulk(rows_a, rows_b)
-
-    def double_lookup() -> int:
-        seen: dict[int, int] = {}
-        admitted = 0
-        for agree in stream:
-            novel = (universe & ~agree) & ~seen.get(agree, 0)
-            if novel:
-                seen[agree] = seen.get(agree, 0) | novel
-                admitted += 1
-        return admitted
-
-    def single_lookup() -> int:
-        seen: dict[int, int] = {}
-        admitted = 0
-        for agree in stream:
-            prior = seen.get(agree, 0)
-            novel = (universe & ~agree) & ~prior
-            if novel:
-                seen[agree] = prior | novel
-                admitted += 1
-        return admitted
-
-    assert double_lookup() == single_lookup()
-    doubled = timed(double_lookup, repeats=5)
-    single = timed(single_lookup, repeats=5)
-    return {
-        "masks_replayed": len(stream),
-        "double_lookup_seconds": doubled.seconds,
-        "single_lookup_seconds": single.seconds,
-        "speedup": doubled.seconds / single.seconds,
-    }
+from repro.bench import trajectory
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--jobs", default="process:4")
+    parser.add_argument("--jobs", default=None)
     parser.add_argument(
         "--output",
         default=str(Path(__file__).parent / "results" / "BENCH_5.json"),
     )
+    parser.add_argument(
+        "--quick", action="store_true", help="forwarded to repro-bench record"
+    )
     args = parser.parse_args(argv)
-
-    try:
-        baseline = {
-            "bench": "BENCH_5",
-            "description": (
-                "parallel-engine baseline: algorithm wall-clock, kernel "
-                "micro-benchmarks and the seen-dict micro-optimization, "
-                "serial vs a worker pool"
-            ),
-            "host": {
-                "cpu_count": os.cpu_count(),
-                "python": platform.python_version(),
-                "platform": platform.platform(),
-            },
-            "jobs": args.jobs,
-            "algorithms": _algorithm_matrix(args.jobs),
-            "kernels": _kernel_micro(args.jobs),
-            "seen_dict_micro": _seen_dict_micro(),
-        }
-    finally:
-        # A crashed workload must still unlink published segments; only
-        # the atexit hook would otherwise stand between us and orphans.
-        close_all_pools()
-    output = Path(args.output)
-    output.parent.mkdir(parents=True, exist_ok=True)
-    output.write_text(json.dumps(baseline, indent=2) + "\n", encoding="utf-8")
-    print(f"wrote {output}")
-    print(json.dumps(baseline["host"], indent=2))
-    for workload, per_algorithm in baseline["algorithms"].items():
-        for algorithm, cells in per_algorithm.items():
-            print(
-                f"{workload:32s} {algorithm:8s} "
-                f"serial {cells['serial']['seconds']:.3f}s  "
-                f"{args.jobs} {cells[args.jobs]['seconds']:.3f}s  "
-                f"speedup {cells['speedup']:.2f}x"
-            )
-    return 0
+    warnings.warn(
+        "benchmarks/record_baseline.py is deprecated; "
+        "use `repro-bench record` (repro.bench.trajectory) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    forwarded = ["record", "--output", args.output]
+    if args.jobs is not None:
+        forwarded += ["--jobs", args.jobs]
+    if args.quick:
+        forwarded.append("--quick")
+    return trajectory.main(forwarded)
 
 
 if __name__ == "__main__":

@@ -18,6 +18,7 @@ from ..core.inversion import Inverter
 from ..core.result import DiscoveryResult, Stopwatch, make_result
 from ..fd import FD, NegativeCover, attrset
 from ..obs import counter, point, span
+from ..obs.names import AIDFD_PAIRS_COMPARED, GR_NCOVER
 from ..relation.relation import Relation
 from .base import execution_context, register
 
@@ -90,10 +91,10 @@ class AidFd:
                             if ncover.add(non_fd):
                                 pending.append(non_fd)
                                 added += 1
-                counter("aidfd.pairs_compared", swept_pairs)
+                counter(AIDFD_PAIRS_COMPARED, swept_pairs)
             sweeps += 1
             pairs_compared += swept_pairs
-            point("gr_ncover", float(sweeps), added / size_before)
+            point(GR_NCOVER, float(sweeps), added / size_before)
             if swept_pairs == 0:
                 break  # every cluster exhausted: the cover is exact
             if added / size_before <= self.threshold:

@@ -27,6 +27,11 @@ from ..core.result import DiscoveryResult, Stopwatch, make_result
 from ..engine.parallel import WorkerPool, agree_masks_sharded
 from ..fd import FD, NegativeCover, attrset
 from ..obs import counter, span
+from ..obs.names import (
+    HYFD_PAIRS_COMPARED,
+    HYFD_VALIDATIONS,
+    HYFD_VIOLATED_CANDIDATES,
+)
 from ..relation.preprocess import PreprocessedRelation
 from ..relation.relation import Relation
 from .base import execution_context, register
@@ -92,7 +97,7 @@ class HyFD:
                         break
                     if novel / swept < self.efficiency_threshold:
                         break
-                counter("hyfd.pairs_compared", phase_pairs)
+                counter(HYFD_PAIRS_COMPARED, phase_pairs)
             with span("inversion", phase=sampling_phases):
                 inverter.process(pending)
             pending.clear()
@@ -116,8 +121,8 @@ class HyFD:
                     novel_mask = (universe & ~agree) & ~seen.get(agree, 0)
                     if novel_mask:
                         self._admit(agree, novel_mask, ncover, pending, seen)
-                counter("hyfd.validations", len(outcomes))
-                counter("hyfd.violated_candidates", violated)
+                counter(HYFD_VALIDATIONS, len(outcomes))
+                counter(HYFD_VIOLATED_CANDIDATES, violated)
             if violated == 0 and not pending:
                 break
             inverter.process(pending)

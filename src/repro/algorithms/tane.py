@@ -28,6 +28,7 @@ from ..core.result import DiscoveryResult, Stopwatch, make_result
 from ..engine import PartitionStore
 from ..fd import FD, attrset
 from ..obs import counter, span
+from ..obs.names import TANE_VALIDATIONS
 from ..relation.relation import Relation
 from .base import execution_context, register
 
@@ -129,7 +130,7 @@ class Tane:
                 cplus = level_cplus
                 level_number += 1
                 validations += level_validations
-                counter("tane.validations", level_validations)
+                counter(TANE_VALIDATIONS, level_validations)
 
         return make_result(
             fds,

@@ -51,7 +51,8 @@ def build_parser() -> argparse.ArgumentParser:
             "escape, merge-order sensitivity, and numeric-width "
             "overflow (RPR106-RPR108), and typestate resource-lifecycle "
             "rules for leaks, use-after-release, and release-protocol "
-            "violations (RPR109-RPR111)."
+            "violations (RPR109-RPR111), plus metric-name discipline "
+            "for the observability catalog (RPR112)."
         ),
     )
     parser.add_argument(
@@ -413,6 +414,16 @@ def explain_rule(code: str) -> str:
                     "releasing parameter p)",
                     "  Borrows: p, q          (parameters used but never "
                     "released here)",
+                ]
+            )
+        if rule.code == "RPR112":
+            lines.extend(
+                [
+                    "",
+                    "the metric-name catalog lives in repro.obs.names; "
+                    "add a constant",
+                    "(plus a CATALOG help string) there and pass it at "
+                    "the call site.",
                 ]
             )
         return "\n".join(lines)

@@ -500,6 +500,80 @@ class ClockDisciplineRule(Rule):
             )
 
 
+class MetricNameDisciplineRule(Rule):
+    """RPR112 — metric names come from the central catalog.
+
+    Every counter/gauge/series/histogram name is declared once in
+    :mod:`repro.obs.names` with its help text; exporters, dashboards and
+    the trajectory harness rely on those spellings.  A string literal at
+    a recording call site drifts silently — a typo mints a parallel
+    metric nobody scrapes — so instrumented code must pass the imported
+    constant instead (mirroring RPR104's clock discipline).  ``obs``
+    itself (which defines the catalog and the primitives) and the
+    isolated ``analysis`` package are exempt.
+    """
+
+    code = "RPR112"
+    name = "metric-name-discipline"
+    rationale = (
+        "ad-hoc metric-name string literals at counter/gauge/point/"
+        "metric_* call sites bypass the repro.obs.names catalog; a typo "
+        "silently mints an uncatalogued metric with no help text that "
+        "exporters and dashboards never see"
+    )
+    example = (
+        'counter("sampler.passes")       # RPR112: ad-hoc literal\n'
+        "counter(SAMPLER_PASSES)         # constant from repro.obs.names"
+    )
+    interests = (ast.Call,)
+
+    _EXEMPT_PACKAGES = ("obs", "analysis")
+    _HELPERS = frozenset(
+        {
+            "counter",
+            "gauge",
+            "point",
+            "metric_inc",
+            "metric_gauge_set",
+            "metric_gauge_add",
+            "metric_gauge_max",
+            "metric_observe",
+            "metric_time",
+        }
+    )
+
+    def visit(self, node: ast.AST, module: Module) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        if module.in_packages(*self._EXEMPT_PACKAGES):
+            return
+        func = node.func
+        if isinstance(func, ast.Name):
+            helper = func.id
+        elif isinstance(func, ast.Attribute) and _is_module(func.value, "obs"):
+            helper = func.attr
+        else:
+            return
+        if helper not in self._HELPERS or not node.args:
+            return
+        name_arg = node.args[0]
+        is_literal = (
+            isinstance(name_arg, ast.Constant) and isinstance(name_arg.value, str)
+        ) or isinstance(name_arg, ast.JoinedStr)
+        if is_literal:
+            rendered = (
+                f'"{name_arg.value}"'
+                if isinstance(name_arg, ast.Constant)
+                else "an f-string"
+            )
+            yield self.finding(
+                module,
+                node,
+                f"{helper}() called with {rendered}, an ad-hoc metric "
+                "name; import the constant from repro.obs.names so the "
+                "catalog stays the single source of metric spellings",
+            )
+
+
 class ParallelismEncapsulationRule(Rule):
     """RPR105 — concurrency primitives stay behind the worker pool.
 
@@ -666,6 +740,7 @@ def default_rules() -> list[Rule]:
         PublicApiAnnotationRule(),
         NumpyDtypeRule(),
         ClockDisciplineRule(),
+        MetricNameDisciplineRule(),
         ParallelismEncapsulationRule(),
         *default_project_rules(),
         *default_dataflow_rules(),

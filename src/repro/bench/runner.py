@@ -55,11 +55,16 @@ class AlgorithmRun:
     ``wall × jobs`` — 1.0 means every worker was saturated for the whole
     run, small values mean the serial coordinator dominated.  ``None``
     on serial runs and runs whose pool never dispatched a chunk.
+
+    ``all_seconds`` preserves every repeat's wall time (``seconds`` is
+    their median) so downstream consumers — the trajectory harness's
+    noise model in particular — can compute min-of-k and spread.
     """
 
     algorithm: str
     seconds: float | None
     fds: frozenset[FD] | None
+    all_seconds: tuple[float, ...] = ()
     skipped: str | None = None
     stats: dict[str, Any] = field(default_factory=dict)
     telemetry: RunTelemetry | None = None
@@ -156,6 +161,7 @@ def _execute(
         algorithm=result.algorithm,
         seconds=run.seconds,
         fds=result.fds,
+        all_seconds=run.all_seconds,
         stats=result.stats,
         telemetry=result.telemetry,
         backend=context.backend.name,

@@ -10,6 +10,10 @@ Subcommands:
 * ``trace``     — run an algorithm on a registered dataset under the
   observability recorder and export the trace (also installed as the
   ``repro-trace`` console script);
+* ``metrics``   — run an algorithm on a registered dataset with the
+  process-wide metrics registry and memory profiler enabled, then dump
+  (or serve over HTTP) the Prometheus/JSONL scrape (also installed as
+  the ``repro-metrics`` console script);
 * ``datasets``  — list the registered benchmark datasets;
 * ``algorithms`` — list the available discovery algorithms.
 """
@@ -25,7 +29,19 @@ from .bench.runner import GroundTruthCache, format_cell, print_table
 from .datasets import registry
 from .engine import ExecutionContext, backend_names, use_context
 from .metrics import fd_set_metrics, timed
-from .obs import Recorder, chrome_trace, recording, summary_tree, to_jsonl, write_trace
+from .obs import (
+    MetricsRegistry,
+    Recorder,
+    chrome_trace,
+    collecting_metrics,
+    memory_profiling,
+    metrics_jsonl,
+    prometheus_text,
+    recording,
+    summary_tree,
+    to_jsonl,
+    write_trace,
+)
 from .relation import read_csv, write_csv
 
 
@@ -87,6 +103,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="run an algorithm on a registered dataset and export its trace",
     )
     add_trace_arguments(trace)
+
+    metrics = commands.add_parser(
+        "metrics",
+        help="run a workload under the metrics registry and dump the scrape",
+    )
+    add_metrics_arguments(metrics)
 
     commands.add_parser("datasets", help="list registered benchmark datasets")
     commands.add_parser("algorithms", help="list available algorithms")
@@ -151,6 +173,122 @@ def add_trace_arguments(parser: argparse.ArgumentParser) -> None:
         help="trace flavor: raw JSONL events, Chrome trace JSON, or summary tree",
     )
     add_backend_argument(parser)
+
+
+def add_metrics_arguments(parser: argparse.ArgumentParser) -> None:
+    """The ``metrics`` options, shared by ``repro-fd metrics`` and
+    ``repro-metrics``."""
+    parser.add_argument(
+        "--algorithm", default="eulerfd", choices=available_algorithms()
+    )
+    parser.add_argument(
+        "--dataset", default="iris", choices=registry.dataset_names()
+    )
+    parser.add_argument("--rows", type=int, default=None)
+    parser.add_argument("--columns", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--format",
+        dest="format",
+        default="prometheus",
+        choices=("prometheus", "jsonl"),
+        help="scrape flavor: Prometheus text exposition or JSONL",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="write the scrape to this file instead of stdout",
+    )
+    parser.add_argument(
+        "--serve",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve the scrape at http://127.0.0.1:PORT/metrics until interrupted",
+    )
+    parser.add_argument(
+        "--no-memory",
+        action="store_true",
+        help="skip tracemalloc phase attribution (faster, no mem.* gauges)",
+    )
+    add_backend_argument(parser)
+
+
+def serve_scrape(text: str, port: int) -> None:
+    """Serve ``text`` at ``/metrics`` on localhost until interrupted.
+
+    A deliberately minimal single-snapshot server: the scrape is the
+    run's final registry state, not a live feed — enough for pointing a
+    Prometheus dev instance or ``curl`` at a finished workload.
+    """
+    from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+    payload = text.encode("utf-8")
+
+    class _ScrapeHandler(BaseHTTPRequestHandler):
+        def do_GET(self) -> None:  # noqa: N802 - http.server API
+            if self.path.rstrip("/") not in ("", "/metrics", "/metric"):
+                self.send_error(404)
+                return
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; version=0.0.4")
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+
+        def log_message(self, *args: object) -> None:
+            """Silence per-request stderr logging."""
+
+    server = ThreadingHTTPServer(("127.0.0.1", port), _ScrapeHandler)
+    try:
+        print(f"serving metrics at http://127.0.0.1:{server.server_port}/metrics")
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    finally:
+        server.server_close()
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from contextlib import ExitStack
+
+    relation = registry.make(
+        args.dataset, rows=args.rows, columns=args.columns, seed=args.seed
+    )
+    registry_ = MetricsRegistry()
+    with ExitStack() as stack:
+        stack.enter_context(collecting_metrics(registry_))
+        if not args.no_memory:
+            stack.enter_context(memory_profiling())
+        context = ExecutionContext(relation, backend=args.backend, jobs=args.jobs)
+        with use_context(context):
+            result = create(args.algorithm).discover(relation)
+        # Snapshot before closing the pool: cleanup decrements the shm
+        # gauges, and the scrape should show the run's live state.
+        text = (
+            prometheus_text(registry_)
+            if args.format == "prometheus"
+            else metrics_jsonl(registry_)
+        )
+        context.pool.close()
+    print(
+        f"{result.algorithm} on {relation.name} "
+        f"({relation.num_rows}x{relation.num_columns}): "
+        f"{len(result)} FDs in {result.runtime_seconds:.3f}s; "
+        f"{len(registry_.counters)} counters, {len(registry_.gauges)} gauges, "
+        f"{len(registry_.histograms)} histograms",
+        file=sys.stderr,
+    )
+    if args.out is not None:
+        from pathlib import Path
+
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"wrote {args.format} scrape to {args.out}", file=sys.stderr)
+    elif args.serve is None:
+        print(text, end="")
+    if args.serve is not None:
+        serve_scrape(text, args.serve)
+    return 0
 
 
 def _cmd_discover(args: argparse.Namespace) -> int:
@@ -300,6 +438,7 @@ _HANDLERS = {
     "compare": _cmd_compare,
     "generate": _cmd_generate,
     "trace": _cmd_trace,
+    "metrics": _cmd_metrics,
     "datasets": _cmd_datasets,
     "algorithms": _cmd_algorithms,
 }
@@ -318,6 +457,19 @@ def trace_main(argv: Sequence[str] | None = None) -> int:
     )
     add_trace_arguments(parser)
     return _cmd_trace(parser.parse_args(argv))
+
+
+def metrics_main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of the ``repro-metrics`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="repro-metrics",
+        description=(
+            "Run an FD-discovery workload with live metrics and dump or "
+            "serve the Prometheus/JSONL scrape"
+        ),
+    )
+    add_metrics_arguments(parser)
+    return _cmd_metrics(parser.parse_args(argv))
 
 
 if __name__ == "__main__":  # pragma: no cover

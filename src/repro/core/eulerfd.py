@@ -23,7 +23,15 @@ from __future__ import annotations
 
 from ..engine import acquire_context
 from ..fd import FD, NegativeCover
-from ..obs import point, span
+from ..obs import phase_memory, point, span
+from ..obs.names import (
+    GR_NCOVER,
+    GR_PCOVER,
+    MEM_PHASE_CYCLE,
+    MEM_PHASE_INVERSION,
+    MEM_PHASE_NCOVER,
+    MEM_PHASE_SAMPLING,
+)
 from ..relation.relation import Relation
 from .config import EulerFDConfig
 from .inversion import Inverter
@@ -73,35 +81,41 @@ class EulerFD:
 
         while cycles < config.max_cycles:
             cycles += 1
-            with span("cycle", cycle=cycles):
+            with span("cycle", cycle=cycles), phase_memory(MEM_PHASE_CYCLE):
                 # ---- first cycle: sampling vs negative-cover growth ------
                 # Each iteration is a full Algorithm-1 drain; while the
                 # negative cover keeps growing fast, retired clusters get a
                 # fresh streak and sampling continues (Alg. 2, lines 7-8).
                 while True:
-                    with span("sampling", cycle=cycles):
+                    with span("sampling", cycle=cycles), phase_memory(
+                        MEM_PHASE_SAMPLING
+                    ):
                         violations, pass_stats = sampler.run_pass()
                     if pass_stats.pairs_compared == 0:
                         break  # the sampler is dry; hand over to inversion
                     rounds += 1
                     size_before = max(len(ncover), 1)
-                    with span("ncover", cycle=cycles):
+                    with span("ncover", cycle=cycles), phase_memory(
+                        MEM_PHASE_NCOVER
+                    ):
                         added = self._grow_ncover(violations, ncover, pending)
                     final_gr_ncover = added / size_before
                     # The trajectory behind Algorithm 2's stopping rule
                     # (paper Fig. 11): one point per sampling round.
-                    point("gr_ncover", rounds, final_gr_ncover, cycle=cycles)
+                    point(GR_NCOVER, rounds, final_gr_ncover, cycle=cycles)
                     if final_gr_ncover <= config.th_ncover:
                         break
                     sampler.revive()
                 # ---- inversion and the second cycle ----------------------
                 pcover_before = max(len(inverter.pcover), 1)
-                with span("inversion", cycle=cycles):
+                with span("inversion", cycle=cycles), phase_memory(
+                    MEM_PHASE_INVERSION
+                ):
                     inversion_stats = inverter.process(pending)
                 pending.clear()
                 inversions += 1
                 final_gr_pcover = inversion_stats.candidates_added / pcover_before
-                point("gr_pcover", cycles, final_gr_pcover, cycle=cycles)
+                point(GR_PCOVER, cycles, final_gr_pcover, cycle=cycles)
             if final_gr_pcover <= config.th_pcover:
                 break
             if not sampler.has_more() and sampler.revive() == 0:

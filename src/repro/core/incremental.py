@@ -30,6 +30,7 @@ from ..algorithms.fdep import compute_agree_masks
 from ..engine.parallel import WorkerPool, agree_masks_sharded, get_pool
 from ..fd import FD, NegativeCover, attrset
 from ..obs import counter, span
+from ..obs.names import INCREMENTAL_PAIRS_COMPARED
 from ..relation.preprocess import preprocess
 from ..relation.relation import Relation
 from .config import EulerFDConfig
@@ -162,7 +163,7 @@ class IncrementalEulerFD:
                     rows_a.append(mate)
                     rows_b.append(new_row)
         self.pairs_compared += len(rows_a)
-        counter("incremental.pairs_compared", len(rows_a))
+        counter(INCREMENTAL_PAIRS_COMPARED, len(rows_a))
         if rows_a:
             for agree in agree_masks_sharded(self.pool, data, rows_a, rows_b):
                 self._admit(agree, self._universe & ~agree, pending)

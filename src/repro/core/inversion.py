@@ -23,6 +23,11 @@ from collections.abc import Iterable
 from ..fd import FD, PositiveCover, attrset
 from ..fd.fd import sort_for_cover_insertion
 from ..obs import counter
+from ..obs.names import (
+    INVERTER_CANDIDATES_ADDED,
+    INVERTER_CANDIDATES_REMOVED,
+    INVERTER_NON_FDS_INVERTED,
+)
 
 
 @dataclass
@@ -55,9 +60,9 @@ class Inverter:
         for non_fd in sort_for_cover_insertion(non_fds):
             self._invert_one(non_fd, stats)
             stats.non_fds_processed += 1
-        counter("inverter.non_fds_inverted", stats.non_fds_processed)
-        counter("inverter.candidates_removed", stats.candidates_removed)
-        counter("inverter.candidates_added", stats.candidates_added)
+        counter(INVERTER_NON_FDS_INVERTED, stats.non_fds_processed)
+        counter(INVERTER_CANDIDATES_REMOVED, stats.candidates_removed)
+        counter(INVERTER_CANDIDATES_ADDED, stats.candidates_added)
         return stats
 
     def _invert_one(self, non_fd: FD, stats: InversionStats) -> None:

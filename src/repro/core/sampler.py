@@ -31,6 +31,17 @@ from dataclasses import dataclass, field
 from ..engine.parallel import WorkerPool, agree_masks_sharded
 from ..fd import attrset
 from ..obs import counter, gauge
+from ..obs.names import (
+    MLFQ_DEMOTIONS,
+    MLFQ_OCCUPANCY,
+    MLFQ_PROMOTIONS,
+    SAMPLER_CLUSTER_VISITS,
+    SAMPLER_NEW_NON_FDS,
+    SAMPLER_PAIRS_COMPARED,
+    SAMPLER_PASSES,
+    SAMPLER_REVIVED_CLUSTERS,
+    SAMPLER_WINDOW_HITS,
+)
 from ..relation.preprocess import PreprocessedRelation
 from .config import EulerFDConfig, MlfqPolicy
 from .mlfq import MultilevelFeedbackQueue
@@ -179,7 +190,7 @@ class SamplingModule:
                 revived += 1
         if revived:
             self.revivals += 1
-            counter("sampler.revived_clusters", revived)
+            counter(SAMPLER_REVIVED_CLUSTERS, revived)
         return revived
 
     def _refill_queue(self) -> None:
@@ -201,9 +212,9 @@ class SamplingModule:
         previous = cluster.queue_level
         if previous is not None:
             if level < previous:
-                counter("mlfq.promotions")
+                counter(MLFQ_PROMOTIONS)
             elif level > previous:
-                counter("mlfq.demotions")
+                counter(MLFQ_DEMOTIONS)
         cluster.queue_level = level
 
     def run_pass(self, max_samples: int | None = None) -> tuple[list[Violation], RoundStats]:
@@ -236,11 +247,11 @@ class SamplingModule:
         self.rounds_run += 1
         self.total_pairs += stats.pairs_compared
         self.total_new_non_fds += stats.new_non_fds
-        counter("sampler.passes")
-        counter("sampler.cluster_visits", stats.cluster_samples)
-        counter("sampler.pairs_compared", stats.pairs_compared)
-        counter("sampler.new_non_fds", stats.new_non_fds)
-        gauge("mlfq.occupancy", float(len(self._queue)), sizes=stats.queue_occupancy)
+        counter(SAMPLER_PASSES)
+        counter(SAMPLER_CLUSTER_VISITS, stats.cluster_samples)
+        counter(SAMPLER_PAIRS_COMPARED, stats.pairs_compared)
+        counter(SAMPLER_NEW_NON_FDS, stats.new_non_fds)
+        gauge(MLFQ_OCCUPANCY, float(len(self._queue)), sizes=stats.queue_occupancy)
         return violations, stats
 
     # -- the sliding window -------------------------------------------------
@@ -283,7 +294,7 @@ class SamplingModule:
         if new_count:
             # A window position that still yields novel violations: the
             # signal the MLFQ uses to keep a cluster hot (Fig. 3).
-            counter("sampler.window_hits")
+            counter(SAMPLER_WINDOW_HITS)
         capa = new_count / num_positions if num_positions else 0.0
         cluster.record(capa)
         cluster.window += 1

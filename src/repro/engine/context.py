@@ -26,7 +26,13 @@ from collections.abc import Iterator, Sequence
 
 from ..fd import attrset
 from ..fd.fd import FD
-from ..obs import counter, span
+from ..obs import counter, metric_inc, metric_time, phase_memory, span
+from ..obs.names import (
+    MEM_PHASE_PREPROCESS,
+    VALIDATE_BATCH_SECONDS,
+    VALIDATE_CANDIDATES,
+    VALIDATE_LHS_FOLDS,
+)
 from ..relation.partition import StrippedPartition
 from ..relation.preprocess import PreprocessedRelation, preprocess
 from ..relation.relation import Relation
@@ -65,16 +71,21 @@ class ExecutionContext:
         backend: str | Backend | None = None,
         null_equals_null: bool = True,
         cache_size: int = DEFAULT_CACHE_SIZE,
+        max_cache_bytes: int | None = None,
         jobs: int | str | PoolSpec | WorkerPool | None = None,
     ) -> None:
         self.backend = get_backend(backend)
         self.pool = jobs if isinstance(jobs, WorkerPool) else get_pool(jobs)
         self.null_equals_null = null_equals_null
-        with span("preprocess", relation=relation.name):
+        with span("preprocess", relation=relation.name), phase_memory(
+            MEM_PHASE_PREPROCESS
+        ):
             self.data: PreprocessedRelation = preprocess(
                 relation, null_equals_null
             )
-        self.partitions = PartitionStore(self.data, cache_size=cache_size)
+        self.partitions = PartitionStore(
+            self.data, cache_size=cache_size, max_bytes=max_cache_bytes
+        )
         self._clusters: dict[bool, list[tuple[int, ...]]] = {}
 
     # -- identity --------------------------------------------------------------
@@ -162,7 +173,9 @@ class ExecutionContext:
         """
         fds = list(fds)
         results: list[Validation | None] = [None] * len(fds)
-        with span("validate_many", candidates=len(fds)):
+        with span("validate_many", candidates=len(fds)), metric_time(
+            VALIDATE_BATCH_SECONDS
+        ):
             if self.num_rows <= 1:
                 for index, fd in enumerate(fds):
                     results[index] = Validation(fd, True)
@@ -197,8 +210,10 @@ class ExecutionContext:
                         else:
                             holds = self.backend.constant_on(self.data, keys, rhs)
                             results[index] = Validation(fds[index], holds)
-            counter("engine.validate.candidates", len(fds))
-            counter("engine.validate.lhs_folds", len(groups))
+            counter(VALIDATE_CANDIDATES, len(fds))
+            counter(VALIDATE_LHS_FOLDS, len(groups))
+            metric_inc(VALIDATE_CANDIDATES, float(len(fds)))
+            metric_inc(VALIDATE_LHS_FOLDS, float(len(groups)))
         return [v for v in results if v is not None]
 
     def __repr__(self) -> str:

@@ -51,7 +51,21 @@ from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any
 
-from ..obs import counter, monotonic, span
+from ..obs import (
+    counter,
+    metric_gauge_add,
+    metric_gauge_set,
+    metric_inc,
+    monotonic,
+    span,
+)
+from ..obs.names import (
+    POOL_BUSY_SECONDS,
+    POOL_CHUNKS,
+    POOL_QUEUE_DEPTH,
+    POOL_TASKS,
+    POOL_WORKERS,
+)
 from ..relation.preprocess import (
     agree_masks_from_matrix,
     distinct_agree_masks_range,
@@ -333,6 +347,8 @@ class WorkerPool:
                 results.append(payload)
             return results
         executor = self._ensure_executor()
+        metric_gauge_set(POOL_WORKERS, float(self.jobs))
+        metric_gauge_set(POOL_QUEUE_DEPTH, float(len(tasks)))
         with span(
             "engine.parallel.map",
             kernel=fn.__name__.strip("_"),
@@ -344,12 +360,16 @@ class WorkerPool:
             for future in futures:
                 payload, elapsed = future.result()
                 self.busy_seconds += elapsed
-                counter("engine.parallel.busy_seconds", elapsed)
+                counter(POOL_BUSY_SECONDS, elapsed)
+                metric_inc(POOL_BUSY_SECONDS, elapsed)
+                metric_gauge_add(POOL_QUEUE_DEPTH, -1.0)
                 results.append(payload)
         self.tasks_dispatched += 1
         self.chunks_dispatched += len(tasks)
-        counter("engine.parallel.tasks")
-        counter("engine.parallel.chunks", len(tasks))
+        counter(POOL_TASKS)
+        counter(POOL_CHUNKS, len(tasks))
+        metric_inc(POOL_TASKS)
+        metric_inc(POOL_CHUNKS, float(len(tasks)))
         return results
 
     # -- matrix shipping --------------------------------------------------

@@ -34,6 +34,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import metric_gauge_add
+from ..obs.names import SHM_BYTES, SHM_SEGMENTS
+
 try:  # pragma: no cover - import success is the normal path
     from multiprocessing import resource_tracker, shared_memory
 except ImportError:  # pragma: no cover - platforms without _posixshmem
@@ -154,12 +157,17 @@ def publish_matrix(
         _discard_segment(segment)
         raise
     done = False
+    segment_bytes = segment.size
+    metric_gauge_add(SHM_SEGMENTS, 1.0)
+    metric_gauge_add(SHM_BYTES, float(segment_bytes))
 
     def cleanup() -> None:
         nonlocal done
         if done:
             return
         done = True
+        metric_gauge_add(SHM_SEGMENTS, -1.0)
+        metric_gauge_add(SHM_BYTES, -float(segment_bytes))
         _discard_segment(segment)
 
     return handle, cleanup

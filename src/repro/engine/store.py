@@ -16,13 +16,21 @@ columns every time.  :class:`PartitionStore` centralizes them:
   (recursing toward singletons when no cover is cached).  This is
   exactly Tane's level-to-level product when the parents are warm, and a
   short product chain when they are not.
-* **Eviction** — a bounded LRU over the non-pinned entries.  Evicting
-  never loses correctness: a future request re-derives the partition
-  from whatever ancestors survived.
+* **Eviction** — a bounded LRU over the non-pinned entries, bounded
+  twice: by entry count (``cache_size``) and, when ``max_bytes`` is
+  set, by the estimated resident bytes of the cached partitions
+  (:func:`partition_cost_bytes`).  The byte bound is what stops a burst
+  of wide partitions — few entries, many clusters each — from blowing
+  past the memory the entry count was meant to cap.  Partitions the
+  cost model cannot size fall back to entry-count accounting alone.
+  Evicting never loses correctness: a future request re-derives the
+  partition from whatever ancestors survived.
 
-Cache traffic is counted twice over: plain integers (:meth:`stats`, for
-telemetry rows with tracing off) and ``engine.partition_cache.{hit,miss,
-derive,evict}`` counters on the active obs recorder.
+Cache traffic is counted three times over: plain integers
+(:meth:`stats`, for telemetry rows with tracing off), per-run
+``engine.partition_cache.*`` counters on the active obs recorder, and
+process-wide counters plus a resident-bytes gauge on the active metrics
+registry (DESIGN.md §10).
 """
 
 from __future__ import annotations
@@ -30,12 +38,53 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from ..fd import attrset
-from ..obs import counter
+from ..obs import counter, metric_gauge_set, metric_inc
+from ..obs.names import (
+    PARTITION_CACHE_DERIVE,
+    PARTITION_CACHE_EVICT,
+    PARTITION_CACHE_EVICTED_BYTES,
+    PARTITION_CACHE_HIT,
+    PARTITION_CACHE_MISS,
+    PARTITION_CACHE_RESIDENT_BYTES,
+)
 from ..relation.partition import StrippedPartition
 from ..relation.preprocess import PreprocessedRelation
 
 DEFAULT_CACHE_SIZE = 4096
 """Non-pinned entries kept before LRU eviction."""
+
+ENTRY_OVERHEAD_BYTES = 96
+"""Estimated fixed cost per cached entry (dict slot, key, object header)."""
+
+CLUSTER_OVERHEAD_BYTES = 56
+"""Estimated cost per cluster tuple beyond its row references."""
+
+ROW_REF_BYTES = 8
+"""Estimated cost per row reference inside a cluster."""
+
+
+def partition_cost_bytes(partition: object) -> int | None:
+    """Estimated resident bytes of one cached partition, or None.
+
+    A deterministic linear model over the stripped representation —
+    fixed entry overhead, one tuple header per cluster, one reference
+    per grouped row — rather than a recursive ``sys.getsizeof`` walk,
+    so repeated sizing of hot partitions costs two attribute reads.
+    Returns None for objects without the stripped-partition shape
+    (the store then falls back to entry-count accounting).
+
+    Pure: reads two attributes, computes an int.
+    """
+    try:
+        num_clusters = len(partition.clusters)
+        grouped = partition.num_grouped_rows
+    except (AttributeError, TypeError):
+        return None
+    return (
+        ENTRY_OVERHEAD_BYTES
+        + CLUSTER_OVERHEAD_BYTES * num_clusters
+        + ROW_REF_BYTES * grouped
+    )
 
 
 class PartitionStore:
@@ -45,11 +94,15 @@ class PartitionStore:
         self,
         data: PreprocessedRelation,
         cache_size: int = DEFAULT_CACHE_SIZE,
+        max_bytes: int | None = None,
     ) -> None:
         if cache_size < 1:
             raise ValueError(f"cache_size must be positive, got {cache_size}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
         self._data = data
         self._cache_size = cache_size
+        self._max_bytes = max_bytes
         num_rows = data.num_rows
         # π(∅): one class holding every tuple (empty when it could not
         # possibly violate anything, i.e. fewer than two rows).
@@ -59,15 +112,33 @@ class PartitionStore:
         self._pinned: dict[int, StrippedPartition] = {attrset.EMPTY: empty}
         for attribute, partition in enumerate(data.stripped):
             self._pinned[attrset.singleton(attribute)] = partition
+        self._pinned_bytes = sum(
+            partition_cost_bytes(partition) or 0
+            for partition in self._pinned.values()
+        )
         self._cache: OrderedDict[int, StrippedPartition] = OrderedDict()
+        self._costs: dict[int, int] = {}
+        self._cached_bytes = 0
         self.hits = 0
         self.misses = 0
         self.derives = 0
         self.evictions = 0
+        self.evicted_bytes = 0
+        metric_gauge_set(PARTITION_CACHE_RESIDENT_BYTES, float(self.resident_bytes))
 
     @property
     def cache_size(self) -> int:
         return self._cache_size
+
+    @property
+    def max_bytes(self) -> int | None:
+        """Byte bound on the non-pinned entries (None: entry count only)."""
+        return self._max_bytes
+
+    @property
+    def resident_bytes(self) -> int:
+        """Estimated bytes held by the store, pinned entries included."""
+        return self._pinned_bytes + self._cached_bytes
 
     def __len__(self) -> int:
         """Cached entries, pinned ones included."""
@@ -77,12 +148,13 @@ class PartitionStore:
         return mask in self._pinned or mask in self._cache
 
     def stats(self) -> dict[str, int]:
-        """Cache-traffic snapshot: hits, misses, derives, evictions."""
+        """Cache-traffic snapshot: monotonic counts, safe to delta."""
         return {
             "hits": self.hits,
             "misses": self.misses,
             "derives": self.derives,
             "evictions": self.evictions,
+            "evicted_bytes": self.evicted_bytes,
         }
 
     # -- lookup ----------------------------------------------------------------
@@ -95,16 +167,19 @@ class PartitionStore:
         pinned = self._pinned.get(mask)
         if pinned is not None:
             self.hits += 1
-            counter("engine.partition_cache.hit")
+            counter(PARTITION_CACHE_HIT)
+            metric_inc(PARTITION_CACHE_HIT)
             return pinned
         cached = self._cache.get(mask)
         if cached is not None:
             self._cache.move_to_end(mask)
             self.hits += 1
-            counter("engine.partition_cache.hit")
+            counter(PARTITION_CACHE_HIT)
+            metric_inc(PARTITION_CACHE_HIT)
             return cached
         self.misses += 1
-        counter("engine.partition_cache.miss")
+        counter(PARTITION_CACHE_MISS)
+        metric_inc(PARTITION_CACHE_MISS)
         partition = self._derive(mask)
         self._store(mask, partition)
         return partition
@@ -125,7 +200,8 @@ class PartitionStore:
     def _derive(self, mask: int) -> StrippedPartition:
         """Product of the cheapest cached parent pair covering ``mask``."""
         self.derives += 1
-        counter("engine.partition_cache.derive")
+        counter(PARTITION_CACHE_DERIVE)
+        metric_inc(PARTITION_CACHE_DERIVE)
         base_mask, base = self._largest_cached_subset(mask)
         remainder = mask & ~base_mask
         partner = self._cheapest_cover(mask, remainder)
@@ -179,9 +255,27 @@ class PartitionStore:
                 yield candidate_mask, candidate
 
     def _store(self, mask: int, partition: StrippedPartition) -> None:
+        previous_cost = self._costs.pop(mask, 0)
+        self._cached_bytes -= previous_cost
+        cost = partition_cost_bytes(partition)
+        if cost is not None:
+            self._costs[mask] = cost
+            self._cached_bytes += cost
         self._cache[mask] = partition
         self._cache.move_to_end(mask)
-        while len(self._cache) > self._cache_size:
-            self._cache.popitem(last=False)
+        while self._cache and (
+            len(self._cache) > self._cache_size
+            or (
+                self._max_bytes is not None
+                and self._cached_bytes > self._max_bytes
+            )
+        ):
+            evicted_mask, _ = self._cache.popitem(last=False)
+            evicted_cost = self._costs.pop(evicted_mask, 0)
+            self._cached_bytes -= evicted_cost
             self.evictions += 1
-            counter("engine.partition_cache.evict")
+            self.evicted_bytes += evicted_cost
+            counter(PARTITION_CACHE_EVICT)
+            metric_inc(PARTITION_CACHE_EVICT)
+            metric_inc(PARTITION_CACHE_EVICTED_BYTES, float(evicted_cost))
+        metric_gauge_set(PARTITION_CACHE_RESIDENT_BYTES, float(self.resident_bytes))

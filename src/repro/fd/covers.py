@@ -19,6 +19,13 @@ from __future__ import annotations
 from collections.abc import Callable, Iterable, Iterator, Sequence
 
 from ..obs import counter
+from ..obs.names import (
+    NCOVER_ADDED,
+    NCOVER_GENERALIZATIONS_EVICTED,
+    PCOVER_ADDED,
+    PCOVER_REMOVED,
+    PCOVER_SPECIALIZATIONS_EVICTED,
+)
 from . import attrset
 from .binary_tree import BinaryLhsTree
 from .fd import FD
@@ -85,9 +92,9 @@ class NegativeCover:
             evicted += 1
         tree.add(non_fd.lhs)
         self._size += 1
-        counter("ncover.added")
+        counter(NCOVER_ADDED)
         if evicted:
-            counter("ncover.generalizations_evicted", evicted)
+            counter(NCOVER_GENERALIZATIONS_EVICTED, evicted)
         return True
 
     def add_all(self, non_fds: Iterable[FD]) -> int:
@@ -182,9 +189,9 @@ class PositiveCover:
             evicted += 1
         tree.add(fd.lhs)
         self._size += 1
-        counter("pcover.added")
+        counter(PCOVER_ADDED)
         if evicted:
-            counter("pcover.specializations_evicted", evicted)
+            counter(PCOVER_SPECIALIZATIONS_EVICTED, evicted)
         return True
 
     def add_minimal(self, fd: FD) -> bool:
@@ -199,7 +206,7 @@ class PositiveCover:
         """
         if self._trees[fd.rhs].add(fd.lhs):
             self._size += 1
-            counter("pcover.added")
+            counter(PCOVER_ADDED)
             return True
         return False
 
@@ -210,7 +217,7 @@ class PositiveCover:
         """
         if self._trees[fd.rhs].remove(fd.lhs):
             self._size -= 1
-            counter("pcover.removed")
+            counter(PCOVER_REMOVED)
             return True
         return False
 

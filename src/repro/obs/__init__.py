@@ -22,6 +22,7 @@ traced :class:`~repro.core.result.DiscoveryResult` carries::
     print(result.telemetry.series["gr_ncover"])
 """
 
+from . import names
 from .clock import Clock, FakeClock, SystemClock, monotonic, system_clock
 from .exporters import (
     chrome_trace,
@@ -47,34 +48,89 @@ from .recorder import (
     span,
     uninstall,
 )
+from .metrics import (
+    NULL_TIMER,
+    Histogram,
+    MetricsRegistry,
+    collecting_metrics,
+    current_metrics,
+    exponential_buckets,
+    install_metrics,
+    metric_gauge_add,
+    metric_gauge_max,
+    metric_gauge_set,
+    metric_inc,
+    metric_observe,
+    metric_time,
+    metrics_enabled,
+    metrics_from_jsonl,
+    metrics_jsonl,
+    prometheus_name,
+    prometheus_text,
+    uninstall_metrics,
+)
+from .prof import (
+    NULL_PHASE,
+    MemoryProfiler,
+    current_profiler,
+    memory_profiling,
+    peak_rss_bytes,
+    phase_memory,
+)
 from .telemetry import PhaseStat, RunTelemetry
 
 __all__ = [
     "Clock",
     "Event",
     "FakeClock",
+    "Histogram",
+    "MemoryProfiler",
+    "MetricsRegistry",
+    "NULL_PHASE",
     "NULL_SPAN",
+    "NULL_TIMER",
     "PhaseStat",
     "Recorder",
     "RunTelemetry",
     "SpanHandle",
     "SystemClock",
     "chrome_trace",
+    "collecting_metrics",
     "counter",
+    "current_metrics",
+    "current_profiler",
     "current_recorder",
     "enabled",
     "event_dicts",
     "events_from_jsonl",
+    "exponential_buckets",
     "gauge",
     "install",
+    "install_metrics",
+    "memory_profiling",
+    "metric_gauge_add",
+    "metric_gauge_max",
+    "metric_gauge_set",
+    "metric_inc",
+    "metric_observe",
+    "metric_time",
+    "metrics_enabled",
+    "metrics_from_jsonl",
+    "metrics_jsonl",
     "monotonic",
+    "names",
+    "peak_rss_bytes",
+    "phase_memory",
     "point",
+    "prometheus_name",
+    "prometheus_text",
     "recording",
     "span",
     "summary_tree",
     "system_clock",
     "to_jsonl",
     "uninstall",
+    "uninstall_metrics",
     "validate_chrome_trace",
     "write_trace",
 ]

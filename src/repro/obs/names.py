@@ -1,0 +1,146 @@
+"""The central metric-name catalog (DESIGN.md §10).
+
+Every counter, gauge, series and histogram name recorded anywhere in the
+package is declared here exactly once, as a module-level constant, with
+its help line in :data:`CATALOG`.  Instrumented code imports the
+constant; the lint rule RPR112 (metric-name discipline) flags call sites
+that pass ad-hoc string literals instead.  Centralizing the names buys
+three things:
+
+* exporters (Prometheus, JSONL) can attach stable ``# HELP`` text;
+* renames are one-line diffs instead of greps across layers;
+* dashboards and the trajectory harness can rely on the spelling.
+
+The catalog is *descriptive*, not enforced at runtime — the registry
+accepts any name so tests and third-party extensions stay free to record
+their own series.  Discipline is static (RPR112) by design.
+"""
+
+from __future__ import annotations
+
+# -- engine: partition store ---------------------------------------------------
+
+PARTITION_CACHE_HIT = "engine.partition_cache.hit"
+PARTITION_CACHE_MISS = "engine.partition_cache.miss"
+PARTITION_CACHE_DERIVE = "engine.partition_cache.derive"
+PARTITION_CACHE_EVICT = "engine.partition_cache.evict"
+PARTITION_CACHE_RESIDENT_BYTES = "engine.partition_cache.resident_bytes"
+PARTITION_CACHE_EVICTED_BYTES = "engine.partition_cache.evicted_bytes"
+
+# -- engine: validation front door --------------------------------------------
+
+VALIDATE_CANDIDATES = "engine.validate.candidates"
+VALIDATE_LHS_FOLDS = "engine.validate.lhs_folds"
+VALIDATE_BATCH_SECONDS = "engine.validate.batch_seconds"
+
+# -- engine: worker pool and shared memory ------------------------------------
+
+POOL_BUSY_SECONDS = "engine.parallel.busy_seconds"
+POOL_TASKS = "engine.parallel.tasks"
+POOL_CHUNKS = "engine.parallel.chunks"
+POOL_QUEUE_DEPTH = "engine.parallel.queue_depth"
+POOL_WORKERS = "engine.parallel.workers"
+SHM_SEGMENTS = "engine.shm.segments"
+SHM_BYTES = "engine.shm.bytes"
+
+# -- covers --------------------------------------------------------------------
+
+NCOVER_ADDED = "ncover.added"
+NCOVER_GENERALIZATIONS_EVICTED = "ncover.generalizations_evicted"
+PCOVER_ADDED = "pcover.added"
+PCOVER_REMOVED = "pcover.removed"
+PCOVER_SPECIALIZATIONS_EVICTED = "pcover.specializations_evicted"
+
+# -- EulerFD core --------------------------------------------------------------
+
+GR_NCOVER = "gr_ncover"
+GR_PCOVER = "gr_pcover"
+INVERTER_NON_FDS_INVERTED = "inverter.non_fds_inverted"
+INVERTER_CANDIDATES_REMOVED = "inverter.candidates_removed"
+INVERTER_CANDIDATES_ADDED = "inverter.candidates_added"
+INCREMENTAL_PAIRS_COMPARED = "incremental.pairs_compared"
+SAMPLER_PASSES = "sampler.passes"
+SAMPLER_CLUSTER_VISITS = "sampler.cluster_visits"
+SAMPLER_PAIRS_COMPARED = "sampler.pairs_compared"
+SAMPLER_NEW_NON_FDS = "sampler.new_non_fds"
+SAMPLER_REVIVED_CLUSTERS = "sampler.revived_clusters"
+SAMPLER_WINDOW_HITS = "sampler.window_hits"
+MLFQ_PROMOTIONS = "mlfq.promotions"
+MLFQ_DEMOTIONS = "mlfq.demotions"
+MLFQ_OCCUPANCY = "mlfq.occupancy"
+
+# -- baseline algorithms -------------------------------------------------------
+
+TANE_VALIDATIONS = "tane.validations"
+HYFD_PAIRS_COMPARED = "hyfd.pairs_compared"
+HYFD_VALIDATIONS = "hyfd.validations"
+HYFD_VIOLATED_CANDIDATES = "hyfd.violated_candidates"
+AIDFD_PAIRS_COMPARED = "aidfd.pairs_compared"
+
+# -- memory attribution (repro.obs.prof) --------------------------------------
+
+MEM_PHASE_PREPROCESS = "mem.phase.preprocess.peak_bytes"
+MEM_PHASE_CYCLE = "mem.phase.cycle.peak_bytes"
+MEM_PHASE_SAMPLING = "mem.phase.sampling.peak_bytes"
+MEM_PHASE_NCOVER = "mem.phase.ncover.peak_bytes"
+MEM_PHASE_INVERSION = "mem.phase.inversion.peak_bytes"
+MEM_RUN_PEAK_TRACEMALLOC = "mem.run.peak_tracemalloc_bytes"
+
+CATALOG: dict[str, str] = {
+    PARTITION_CACHE_HIT: "Partition-store lookups served from cache",
+    PARTITION_CACHE_MISS: "Partition-store lookups that required derivation",
+    PARTITION_CACHE_DERIVE: "Stripped-partition products performed",
+    PARTITION_CACHE_EVICT: "Partition-store entries evicted by the LRU",
+    PARTITION_CACHE_RESIDENT_BYTES: "Estimated bytes held by the partition store (pinned included)",
+    PARTITION_CACHE_EVICTED_BYTES: "Estimated bytes released by partition-store evictions",
+    VALIDATE_CANDIDATES: "FD candidates submitted to validate_many",
+    VALIDATE_LHS_FOLDS: "Candidate groups after LHS folding",
+    VALIDATE_BATCH_SECONDS: "Wall time per validate_many batch",
+    POOL_BUSY_SECONDS: "Summed worker-side busy seconds",
+    POOL_TASKS: "Worker-pool dispatches (one map_chunks call)",
+    POOL_CHUNKS: "Chunks fanned out across all dispatches",
+    POOL_QUEUE_DEPTH: "Chunks awaiting completion in the current dispatch",
+    POOL_WORKERS: "Workers configured on the active pool",
+    SHM_SEGMENTS: "Live shared-memory segments published by this process",
+    SHM_BYTES: "Bytes resident in live shared-memory segments",
+    NCOVER_ADDED: "Non-FDs admitted to the negative cover",
+    NCOVER_GENERALIZATIONS_EVICTED: "Generalizations evicted on non-FD insert",
+    PCOVER_ADDED: "FDs admitted to the positive cover",
+    PCOVER_REMOVED: "FDs removed from the positive cover",
+    PCOVER_SPECIALIZATIONS_EVICTED: "Specializations evicted on FD insert",
+    GR_NCOVER: "Negative-cover growth rate per sampling round",
+    GR_PCOVER: "Positive-cover growth rate per inversion cycle",
+    INVERTER_NON_FDS_INVERTED: "Non-FDs processed by cover inversion",
+    INVERTER_CANDIDATES_REMOVED: "Candidates removed during inversion",
+    INVERTER_CANDIDATES_ADDED: "Specialized candidates added during inversion",
+    INCREMENTAL_PAIRS_COMPARED: "Row pairs compared by incremental updates",
+    SAMPLER_PASSES: "MLFQ sampling passes executed",
+    SAMPLER_CLUSTER_VISITS: "Cluster visits across sampling passes",
+    SAMPLER_PAIRS_COMPARED: "Row pairs compared by the sampler",
+    SAMPLER_NEW_NON_FDS: "New non-FDs found by sampling",
+    SAMPLER_REVIVED_CLUSTERS: "Retired clusters revived for a new cycle",
+    SAMPLER_WINDOW_HITS: "Neighborhood-window comparisons that found a violation",
+    MLFQ_PROMOTIONS: "Cluster promotions in the multi-level feedback queue",
+    MLFQ_DEMOTIONS: "Cluster demotions in the multi-level feedback queue",
+    MLFQ_OCCUPANCY: "Clusters resident in the MLFQ after a pass",
+    TANE_VALIDATIONS: "Partition-based validations performed by Tane",
+    HYFD_PAIRS_COMPARED: "Row pairs compared by HyFD sampling",
+    HYFD_VALIDATIONS: "Candidate validations performed by HyFD",
+    HYFD_VIOLATED_CANDIDATES: "HyFD candidates refuted by validation",
+    AIDFD_PAIRS_COMPARED: "Row pairs swept by AID-FD",
+    MEM_PHASE_PREPROCESS: "Peak tracemalloc delta inside the preprocess phase",
+    MEM_PHASE_CYCLE: "Peak tracemalloc delta inside one EulerFD cycle",
+    MEM_PHASE_SAMPLING: "Peak tracemalloc delta inside the sampling phase",
+    MEM_PHASE_NCOVER: "Peak tracemalloc delta inside negative-cover maintenance",
+    MEM_PHASE_INVERSION: "Peak tracemalloc delta inside cover inversion",
+    MEM_RUN_PEAK_TRACEMALLOC: "Peak traced bytes over the whole profiled run",
+}
+"""Every catalogued name mapped to its one-line help text."""
+
+
+def metric_help(name: str) -> str:
+    """The catalog help line for ``name`` (empty for uncatalogued names).
+
+    Pure: a dictionary lookup.
+    """
+    return CATALOG.get(name, "")

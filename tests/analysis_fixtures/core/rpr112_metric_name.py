@@ -1,0 +1,16 @@
+"""RPR112 fixture: ad-hoc metric-name literals at recording call sites."""
+
+from __future__ import annotations
+
+
+def counter(name: str, amount: float = 1) -> None:
+    """Stand-in for the repro.obs front door."""
+
+
+def metric_gauge_set(name: str, value: float) -> None:
+    """Stand-in for the repro.obs metrics front door."""
+
+
+def record_pass(passes: int, occupancy: float) -> None:
+    counter("sampler.passes", passes)
+    metric_gauge_set(f"mlfq.occupancy.{passes}", occupancy)

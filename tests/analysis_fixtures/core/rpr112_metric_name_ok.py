@@ -1,0 +1,19 @@
+"""RPR112 clean variant: names flow through catalog constants."""
+
+from __future__ import annotations
+
+SAMPLER_PASSES = "sampler.passes"
+MLFQ_OCCUPANCY = "mlfq.occupancy"
+
+
+def counter(name: str, amount: float = 1) -> None:
+    """Stand-in for the repro.obs front door."""
+
+
+def metric_gauge_set(name: str, value: float) -> None:
+    """Stand-in for the repro.obs metrics front door."""
+
+
+def record_pass(passes: int, occupancy: float) -> None:
+    counter(SAMPLER_PASSES, passes)
+    metric_gauge_set(MLFQ_OCCUPANCY, occupancy)

@@ -1,0 +1,11 @@
+"""RPR112 suppressed variant: a reviewed literal behind the pragma."""
+
+from __future__ import annotations
+
+
+def counter(name: str, amount: float = 1) -> None:
+    """Stand-in for the repro.obs front door."""
+
+
+def record_pass(passes: int) -> None:
+    counter("sampler.passes", passes)  # repro-lint: disable=RPR112

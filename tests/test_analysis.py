@@ -44,6 +44,7 @@ EXPECTED_FIXTURE_RULES = {
     "deadpkg/__init__.py": "RPR103",
     "core/rpr106_escape.py": "RPR106",
     "core/rpr107_unordered.py": "RPR107",
+    "core/rpr112_metric_name.py": "RPR112",
     "relation/rpr108_overflow.py": "RPR108",
     "engine/rpr109_leak.py": "RPR109",
     "engine/rpr110_use_after_release.py": "RPR110",

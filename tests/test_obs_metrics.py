@@ -1,0 +1,717 @@
+"""Tests for repro.obs.metrics + repro.obs.prof and their wiring.
+
+Three layers are covered: the registry itself (deterministic bucketing
+under a FakeClock, exporter round-trips, the zero-overhead-when-disabled
+front door), the instrumented subsystems (partition-store byte
+accounting, shm segment gauges, worker-pool queue gauges, per-phase
+memory attribution), and the end-to-end ``repro-fd metrics`` /
+``repro-metrics`` CLI.  The overhead test is the committed form of the
+fast-path promise: a discover with metrics disabled must sit within 2%
+of the same discover with every metric helper stubbed out entirely.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.request
+
+import pytest
+
+import repro.core.eulerfd as eulerfd_module
+import repro.core.incremental as incremental_module
+import repro.core.inversion as inversion_module
+import repro.core.sampler as sampler_module
+import repro.engine.context as context_module
+import repro.engine.parallel as parallel_module
+import repro.engine.shm as shm_module
+import repro.engine.store as store_module
+import repro.fd.covers as covers_module
+from repro.algorithms import create
+from repro.cli import main as cli_main
+from repro.cli import metrics_main, serve_scrape
+from repro.datasets import registry
+from repro.engine import (
+    ExecutionContext,
+    WorkerPool,
+    close_all_pools,
+    use_context,
+)
+from repro.engine.shm import publish_matrix
+from repro.engine.store import (
+    CLUSTER_OVERHEAD_BYTES,
+    ENTRY_OVERHEAD_BYTES,
+    ROW_REF_BYTES,
+    PartitionStore,
+    partition_cost_bytes,
+)
+from repro.fd import attrset
+from repro.obs import (
+    NULL_PHASE,
+    NULL_TIMER,
+    FakeClock,
+    Histogram,
+    MemoryProfiler,
+    MetricsRegistry,
+    collecting_metrics,
+    current_metrics,
+    current_profiler,
+    exponential_buckets,
+    install_metrics,
+    memory_profiling,
+    metric_gauge_add,
+    metric_gauge_max,
+    metric_gauge_set,
+    metric_inc,
+    metric_observe,
+    metric_time,
+    metrics_enabled,
+    metrics_from_jsonl,
+    metrics_jsonl,
+    names,
+    peak_rss_bytes,
+    phase_memory,
+    prometheus_name,
+    prometheus_text,
+    uninstall_metrics,
+)
+from repro.relation.preprocess import preprocess
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_registry():
+    """Every test starts and ends with metrics collection disabled."""
+    uninstall_metrics()
+    yield
+    uninstall_metrics()
+
+
+# -- histograms and buckets ----------------------------------------------------
+
+
+class TestExponentialBuckets:
+    def test_default_ladder(self):
+        bounds = exponential_buckets()
+        assert len(bounds) == 16
+        assert bounds[0] == pytest.approx(0.001)
+        assert bounds[1] == pytest.approx(0.002)
+        assert bounds[-1] == pytest.approx(0.001 * 2**15)
+
+    def test_custom_ladder(self):
+        assert exponential_buckets(1.0, 10.0, 3) == (1.0, 10.0, 100.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"start": 0.0},
+            {"start": -1.0},
+            {"growth": 1.0},
+            {"growth": 0.5},
+            {"count": 0},
+        ],
+    )
+    def test_rejects_degenerate_ladders(self, kwargs):
+        with pytest.raises(ValueError):
+            exponential_buckets(**kwargs)
+
+
+class TestHistogram:
+    def test_bucketing_is_inclusive_upper_bound(self):
+        histogram = Histogram((1.0, 2.0, 4.0))
+        for value, index in [(0.5, 0), (1.0, 0), (1.5, 1), (2.0, 1), (3.0, 2)]:
+            assert histogram.bucket_index(value) == index
+        assert histogram.bucket_index(5.0) == 3  # the +Inf slot
+
+    def test_observe_accumulates(self):
+        histogram = Histogram((1.0, 2.0))
+        for value in (0.5, 1.5, 1.6, 99.0):
+            histogram.observe(value)
+        assert histogram.counts == [1, 2, 1]
+        assert histogram.total == pytest.approx(0.5 + 1.5 + 1.6 + 99.0)
+        assert histogram.count == 4
+
+    @pytest.mark.parametrize("bounds", [(), (2.0, 1.0), (1.0, 1.0)])
+    def test_rejects_bad_bounds(self, bounds):
+        with pytest.raises(ValueError):
+            Histogram(bounds)
+
+
+# -- the registry --------------------------------------------------------------
+
+
+class TestMetricsRegistry:
+    def test_counters_gauges_and_histograms(self):
+        registry_ = MetricsRegistry()
+        registry_.inc("c")
+        registry_.inc("c", 2.5)
+        registry_.gauge_set("g", 7.0)
+        registry_.gauge_add("g", -2.0)
+        registry_.gauge_max("m", 3.0)
+        registry_.gauge_max("m", 1.0)  # lower: ignored
+        registry_.observe("h", 0.01)
+        snapshot = registry_.snapshot()
+        assert snapshot["counters"] == {"c": 3.5}
+        assert snapshot["gauges"] == {"g": 5.0, "m": 3.0}
+        assert snapshot["histograms"]["h"]["count"] == 1
+
+    def test_time_block_buckets_deterministically(self):
+        # FakeClock(tick=1): enter reads 0, exit reads 1 -> duration 1.0,
+        # which lands in the 1.024s bucket of the default ladder.
+        registry_ = MetricsRegistry(clock=FakeClock(tick=1.0))
+        with registry_.time_block("h"):
+            pass
+        histogram = registry_.histograms["h"]
+        assert histogram.count == 1
+        assert histogram.total == pytest.approx(1.0)
+        assert histogram.counts[histogram.bucket_index(1.0)] == 1
+        assert histogram.bounds[histogram.bucket_index(1.0)] == pytest.approx(
+            1.024
+        )
+
+    def test_configured_buckets_apply_per_name(self):
+        registry_ = MetricsRegistry(buckets={"h": (1.0, 2.0)})
+        registry_.observe("h", 1.5)
+        registry_.observe("other", 1.5)
+        assert registry_.histograms["h"].bounds == (1.0, 2.0)
+        assert len(registry_.histograms["other"].bounds) == 16
+
+
+class TestFrontDoor:
+    def test_disabled_is_the_default(self):
+        assert not metrics_enabled()
+        assert current_metrics() is None
+
+    def test_disabled_helpers_are_noops_returning_null_handles(self):
+        metric_inc("c")
+        metric_gauge_set("g", 1.0)
+        metric_gauge_add("g", 1.0)
+        metric_gauge_max("g", 1.0)
+        metric_observe("h", 1.0)
+        assert metric_time("h") is NULL_TIMER
+        with metric_time("h"):
+            pass
+        assert phase_memory("p") is NULL_PHASE
+        with phase_memory("p"):
+            pass
+        assert current_metrics() is None
+
+    def test_install_uninstall(self):
+        registry_ = MetricsRegistry()
+        install_metrics(registry_)
+        assert metrics_enabled()
+        assert current_metrics() is registry_
+        metric_inc("c")
+        assert registry_.counters["c"] == 1.0
+        uninstall_metrics()
+        assert not metrics_enabled()
+
+    def test_collecting_metrics_nests_and_restores(self):
+        with collecting_metrics() as outer:
+            assert current_metrics() is outer
+            inner_registry = MetricsRegistry()
+            with collecting_metrics(inner_registry) as inner:
+                assert inner is inner_registry
+                assert current_metrics() is inner
+                metric_inc("c")
+            assert current_metrics() is outer
+            metric_inc("c")
+        assert current_metrics() is None
+        assert inner_registry.counters["c"] == 1.0
+        assert outer.counters["c"] == 1.0
+
+    def test_metric_time_records_on_the_active_registry(self):
+        registry_ = MetricsRegistry(clock=FakeClock(tick=0.5))
+        with collecting_metrics(registry_):
+            with metric_time("h"):
+                pass
+        assert registry_.histograms["h"].total == pytest.approx(0.5)
+
+
+# -- exporters -----------------------------------------------------------------
+
+
+class TestExporters:
+    def _populated(self):
+        registry_ = MetricsRegistry(buckets={"h.seconds": (0.1, 1.0)})
+        registry_.inc(names.PARTITION_CACHE_HIT, 3)
+        registry_.gauge_set(names.SHM_SEGMENTS, 2.0)
+        registry_.gauge_set("uncatalogued.gauge", 1.5)
+        registry_.observe("h.seconds", 0.05)
+        registry_.observe("h.seconds", 0.5)
+        registry_.observe("h.seconds", 5.0)
+        return registry_
+
+    def test_prometheus_name_rewriting(self):
+        assert (
+            prometheus_name("engine.partition_cache.hit")
+            == "repro_engine_partition_cache_hit"
+        )
+        assert prometheus_name("a-b c") == "repro_a_b_c"
+
+    def test_prometheus_text_layout(self):
+        text = prometheus_text(self._populated())
+        assert text.endswith("\n")
+        lines = text.splitlines()
+        assert "repro_engine_partition_cache_hit 3" in lines
+        assert "repro_engine_shm_segments 2" in lines
+        assert "repro_uncatalogued_gauge 1.5" in lines
+        assert (
+            "# HELP repro_engine_partition_cache_hit "
+            "Partition-store lookups served from cache" in lines
+        )
+        assert "# TYPE repro_engine_partition_cache_hit counter" in lines
+        assert "# TYPE repro_engine_shm_segments gauge" in lines
+        assert "# TYPE repro_h_seconds histogram" in lines
+        # Uncatalogued names get TYPE but no HELP.
+        assert not any("# HELP repro_uncatalogued_gauge" in l for l in lines)
+        # Cumulative buckets: 1 at le=0.1, 2 at le=1.0, 3 at +Inf.
+        assert 'repro_h_seconds_bucket{le="0.1"} 1' in lines
+        assert 'repro_h_seconds_bucket{le="1.0"} 2' in lines
+        assert 'repro_h_seconds_bucket{le="+Inf"} 3' in lines
+        assert "repro_h_seconds_count 3" in lines
+
+    def test_jsonl_round_trip_is_lossless(self):
+        registry_ = self._populated()
+        text = metrics_jsonl(registry_)
+        for line in text.strip().splitlines():
+            record = json.loads(line)
+            assert record["kind"] in ("counter", "gauge", "histogram")
+        rebuilt = metrics_from_jsonl(text)
+        assert rebuilt.snapshot() == registry_.snapshot()
+
+    def test_jsonl_rejects_unknown_kinds(self):
+        with pytest.raises(ValueError, match="unknown metrics record kind"):
+            metrics_from_jsonl('{"kind": "mystery", "name": "x", "value": 1}\n')
+
+
+# -- memory attribution --------------------------------------------------------
+
+
+class TestMemoryProfiler:
+    def test_disabled_is_the_default(self):
+        assert current_profiler() is None
+
+    def test_phase_peaks_are_recorded(self):
+        with memory_profiling() as profiler:
+            assert current_profiler() is profiler
+            with phase_memory("mem.test.alloc"):
+                block = [0] * 200_000
+            del block
+        assert current_profiler() is None
+        assert profiler.peaks["mem.test.alloc"] > 100_000
+        assert profiler.run_peak() == max(profiler.peaks.values())
+
+    def test_nested_phase_peak_propagates_to_parent(self):
+        profiler = MemoryProfiler()
+        with memory_profiling(profiler):
+            with profiler.phase("outer"):
+                with profiler.phase("inner"):
+                    block = [0] * 200_000
+                del block
+        assert profiler.peaks["inner"] > 100_000
+        # The spike inside "inner" counts toward "outer" too.
+        assert profiler.peaks["outer"] >= profiler.peaks["inner"]
+
+    def test_peaks_land_on_the_registry_as_max_gauges(self):
+        with collecting_metrics() as registry_:
+            with memory_profiling() as profiler:
+                with phase_memory("mem.test.alloc"):
+                    block = [0] * 200_000
+                del block
+        assert registry_.gauges["mem.test.alloc"] == float(
+            profiler.peaks["mem.test.alloc"]
+        )
+
+    def test_peak_rss_bytes_is_positive_on_posix(self):
+        assert peak_rss_bytes() > 1_000_000  # this interpreter alone
+
+
+# -- partition-store byte accounting -------------------------------------------
+
+
+def _wide_relation(rows: int = 60, width: int = 6):
+    from repro.relation import Relation
+
+    return Relation.from_rows(
+        [tuple((r + c) % (rows // 3) for c in range(width)) for r in range(rows)],
+        [f"c{i}" for i in range(width)],
+        name="wide",
+    )
+
+
+class TestStoreByteAccounting:
+    def test_cost_model_matches_the_formula(self):
+        data = preprocess(_wide_relation())
+        partition = data.stripped[0]
+        cost = partition_cost_bytes(partition)
+        assert cost == (
+            ENTRY_OVERHEAD_BYTES
+            + CLUSTER_OVERHEAD_BYTES * len(partition.clusters)
+            + ROW_REF_BYTES * partition.num_grouped_rows
+        )
+
+    def test_cost_model_returns_none_off_shape(self):
+        assert partition_cost_bytes(object()) is None
+
+    def test_resident_bytes_counts_pinned_entries(self):
+        store = PartitionStore(preprocess(_wide_relation()))
+        assert store.resident_bytes > 0
+        assert store.stats()["evicted_bytes"] == 0
+
+    def test_byte_lru_bounds_a_wide_partition_burst(self):
+        data = preprocess(_wide_relation())
+        max_bytes = 4 * 1024
+        store = PartitionStore(data, cache_size=10_000, max_bytes=max_bytes)
+        assert store.max_bytes == max_bytes
+        pinned_only = store.resident_bytes
+        width = data.num_columns
+        for a in range(width):
+            for b in range(a + 1, width):
+                store.get(attrset.from_indices([a, b]))
+                # The byte bound holds after every store, not just at
+                # the end: non-pinned residency never exceeds max_bytes.
+                assert store.resident_bytes - pinned_only <= max_bytes
+        stats = store.stats()
+        assert stats["evictions"] > 0
+        assert stats["evicted_bytes"] > 0
+        assert store.evicted_bytes == stats["evicted_bytes"]
+
+    def test_unsizeable_entries_fall_back_to_entry_count(self):
+        data = preprocess(_wide_relation())
+
+        class OpaquePartition:
+            num_rows = data.num_rows
+
+        store = PartitionStore(data, cache_size=2)
+        before = store.resident_bytes
+        for offset in range(4):
+            store.put(1 << (10 + offset), OpaquePartition())
+        assert store.resident_bytes == before  # no byte accounting
+        assert store.stats()["evictions"] == 2  # entry-count LRU still caps
+        assert store.stats()["evicted_bytes"] == 0
+
+    def test_registry_sees_resident_bytes_and_eviction_bytes(self):
+        data = preprocess(_wide_relation())
+        with collecting_metrics() as registry_:
+            store = PartitionStore(data, cache_size=10_000, max_bytes=2048)
+            store.get(attrset.singleton(0))  # pinned: a guaranteed hit
+            width = data.num_columns
+            for a in range(width):
+                for b in range(a + 1, width):
+                    store.get(attrset.from_indices([a, b]))
+        assert registry_.gauges[names.PARTITION_CACHE_RESIDENT_BYTES] == float(
+            store.resident_bytes
+        )
+        assert store.hits > 0
+        assert registry_.counters[names.PARTITION_CACHE_HIT] == store.hits
+        assert registry_.counters[names.PARTITION_CACHE_EVICTED_BYTES] == float(
+            store.evicted_bytes
+        )
+
+
+# -- shm and pool gauges -------------------------------------------------------
+
+
+np = pytest.importorskip("numpy")
+
+
+@pytest.fixture(autouse=True)
+def fresh_pools():
+    close_all_pools()
+    yield
+    close_all_pools()
+
+
+class TestShmGauges:
+    @pytest.mark.skipif(
+        not shm_module.HAVE_SHARED_MEMORY, reason="no shared memory here"
+    )
+    def test_publish_and_cleanup_balance_the_gauges(self):
+        matrix = np.zeros((64, 8), dtype=np.int32)
+        with collecting_metrics() as registry_:
+            handle, cleanup = publish_matrix(matrix)
+            assert registry_.gauges[names.SHM_SEGMENTS] == 1.0
+            assert registry_.gauges[names.SHM_BYTES] >= matrix.nbytes
+            cleanup()
+            assert registry_.gauges[names.SHM_SEGMENTS] == 0.0
+            assert registry_.gauges[names.SHM_BYTES] == 0.0
+            cleanup()  # idempotent: a second call must not go negative
+            assert registry_.gauges[names.SHM_SEGMENTS] == 0.0
+
+    def test_pickle_fallback_publishes_no_gauges(self):
+        matrix = np.zeros((8, 2), dtype=np.int32)
+        with collecting_metrics() as registry_:
+            _, cleanup = publish_matrix(matrix, use_shared_memory=False)
+            cleanup()
+        assert names.SHM_SEGMENTS not in registry_.gauges
+
+    @pytest.mark.skipif(
+        not shm_module.HAVE_SHARED_MEMORY, reason="no shared memory here"
+    )
+    def test_process_pool_publish_and_close(self):
+        matrix = np.zeros((64, 8), dtype=np.int32)
+        pool = WorkerPool("process:2")
+        with collecting_metrics() as registry_:
+            pool.matrix_handle(matrix)
+            pool.matrix_handle(matrix)  # cached: still one segment
+            assert registry_.gauges[names.SHM_SEGMENTS] == 1.0
+            assert registry_.gauges[names.SHM_BYTES] >= matrix.nbytes
+            pool.close()
+            assert registry_.gauges[names.SHM_SEGMENTS] == 0.0
+            assert registry_.gauges[names.SHM_BYTES] == 0.0
+
+
+def _echo_task(value):
+    return value * 2, 0.0
+
+
+class TestPoolGauges:
+    def test_map_chunks_tracks_queue_and_dispatch(self):
+        pool = WorkerPool("thread:2")
+        tasks = [(1,), (2,), (3,)]
+        with collecting_metrics() as registry_:
+            results = pool.map_chunks(_echo_task, tasks)
+        pool.close()
+        assert results == [2, 4, 6]
+        assert registry_.gauges[names.POOL_WORKERS] == 2.0
+        assert registry_.gauges[names.POOL_QUEUE_DEPTH] == 0.0
+        assert registry_.counters[names.POOL_TASKS] == 1.0
+        assert registry_.counters[names.POOL_CHUNKS] == 3.0
+
+    def test_serial_fast_path_records_nothing(self):
+        pool = WorkerPool(None)
+        with collecting_metrics() as registry_:
+            results = pool.map_chunks(_echo_task, [(1,), (2,)])
+        assert results == [2, 4]
+        assert registry_.snapshot()["gauges"] == {}
+        assert registry_.snapshot()["counters"] == {}
+
+
+# -- end-to-end: instrumented discover -----------------------------------------
+
+
+class TestEndToEndDiscover:
+    def test_metrics_enabled_discover_exports_everything(self, tmp_path):
+        relation = registry.make("fd-reduced-30", rows=150, seed=5)
+        with collecting_metrics() as registry_:
+            with memory_profiling():
+                context = ExecutionContext(relation)
+                with use_context(context):
+                    fds = create("eulerfd").discover(relation)
+                    # EulerFD validates through its own double cycle;
+                    # one explicit batch exercises the timed front door.
+                    context.validate_many(list(fds)[:4])
+                context.pool.close()
+        snapshot = registry_.snapshot()
+        assert snapshot["gauges"][names.PARTITION_CACHE_RESIDENT_BYTES] > 0
+        for name in (
+            names.MEM_PHASE_PREPROCESS,
+            names.MEM_PHASE_CYCLE,
+            names.MEM_PHASE_SAMPLING,
+            names.MEM_PHASE_NCOVER,
+            names.MEM_PHASE_INVERSION,
+        ):
+            assert snapshot["gauges"][name] >= 0
+        assert names.VALIDATE_BATCH_SECONDS in snapshot["histograms"]
+        # Both exporters carry the same state.
+        text = prometheus_text(registry_)
+        assert "repro_engine_partition_cache_resident_bytes" in text
+        assert "repro_mem_phase_preprocess_peak_bytes" in text
+        rebuilt = metrics_from_jsonl(metrics_jsonl(registry_))
+        assert rebuilt.snapshot() == snapshot
+
+    @pytest.mark.skipif(
+        not shm_module.HAVE_SHARED_MEMORY, reason="no shared memory here"
+    )
+    def test_process_pool_run_exports_all_three_gauge_families(
+        self, monkeypatch
+    ):
+        """The acceptance shape: one metrics-enabled run, scraped live,
+        shows partition-cache bytes, shm segments and memory peaks in
+        both export formats."""
+        monkeypatch.setattr(parallel_module, "MIN_PAIRS_PER_WORKER", 1)
+        monkeypatch.setattr(parallel_module, "MIN_GROUPS_PER_WORKER", 1)
+        relation = registry.make("fd-reduced-30", rows=150, seed=5)
+        with collecting_metrics() as registry_:
+            with memory_profiling():
+                context = ExecutionContext(relation, jobs="process:2")
+                with use_context(context):
+                    create("eulerfd").discover(relation)
+                # Scrape before close: cleanup decrements the shm gauges.
+                text = prometheus_text(registry_)
+                jsonl = metrics_jsonl(registry_)
+                context.pool.close()
+        exported = metrics_from_jsonl(jsonl).gauges
+        assert exported[names.SHM_SEGMENTS] >= 1.0
+        assert exported[names.SHM_BYTES] > 0
+        assert exported[names.PARTITION_CACHE_RESIDENT_BYTES] > 0
+        assert exported[names.MEM_PHASE_SAMPLING] >= 0
+        assert "repro_engine_shm_segments" in text
+        assert "repro_engine_partition_cache_resident_bytes" in text
+        assert "repro_mem_phase_sampling_peak_bytes" in text
+        # After close the live registry's segment gauge drains to zero.
+        assert registry_.gauges[names.SHM_SEGMENTS] == 0.0
+
+    def test_max_cache_bytes_flows_into_the_store(self):
+        relation = registry.make("fd-reduced-30", rows=100, seed=5)
+        context = ExecutionContext(relation, max_cache_bytes=8 * 1024)
+        assert context.partitions.max_bytes == 8 * 1024
+
+
+# -- the zero-overhead-when-disabled promise -----------------------------------
+
+_INSTRUMENTED_MODULES = (
+    store_module,
+    context_module,
+    parallel_module,
+    shm_module,
+    covers_module,
+    eulerfd_module,
+    inversion_module,
+    incremental_module,
+    sampler_module,
+)
+
+# Only the helpers THIS layer added: the pre-PR recorder front door
+# (counter/gauge/point) stays live on both sides, so the measured delta
+# is exactly what the metrics registry costs while disabled.
+_HELPER_NAMES = (
+    "metric_inc",
+    "metric_gauge_set",
+    "metric_gauge_add",
+    "metric_gauge_max",
+    "metric_observe",
+)
+
+
+class TestDisabledOverhead:
+    def test_disabled_discover_within_two_percent_of_stubbed(self, monkeypatch):
+        """The committed form of the fast-path promise (DESIGN.md §10).
+
+        Interleaved min-of-k: the same EulerFD discover runs with
+        metrics disabled (the shipped fast path: one global read and a
+        None check per site) and with every helper this PR added
+        monkeypatched to a bare no-op (the closest measurable stand-in
+        for the pre-PR code, whose recorder calls stay live on both
+        sides).  The disabled best must land within 2% of the stubbed
+        best — interleaving, min-of-k and retries keep scheduler noise
+        from failing a true promise.
+        """
+        import gc
+
+        relation = registry.make("fd-reduced-30", rows=200, seed=5)
+
+        def timed_discover():
+            gc.collect()
+            gc.disable()
+            try:
+                start = time.perf_counter()
+                context = ExecutionContext(relation)
+                with use_context(context):
+                    create("eulerfd").discover(relation)
+                return time.perf_counter() - start
+            finally:
+                gc.enable()
+
+        def stub_helpers(patches):
+            def noop(*args, **kwargs):
+                return None
+
+            for module in _INSTRUMENTED_MODULES:
+                for name in _HELPER_NAMES:
+                    if hasattr(module, name):
+                        patches.setattr(module, name, noop)
+                if hasattr(module, "metric_time"):
+                    patches.setattr(
+                        module, "metric_time", lambda name: NULL_TIMER
+                    )
+                if hasattr(module, "phase_memory"):
+                    patches.setattr(
+                        module, "phase_memory", lambda name: NULL_PHASE
+                    )
+
+        timed_discover()  # warm imports, dataset caches, code paths
+        disabled = stubbed = float("inf")
+        for _ in range(4):
+            # Interleave variants pair-wise so load drift hits both
+            # sides equally; min-of-k absorbs the remaining spikes.
+            for _ in range(3):
+                with monkeypatch.context() as patches:
+                    stub_helpers(patches)
+                    stubbed = min(stubbed, timed_discover())
+                disabled = min(disabled, timed_discover())
+            if disabled <= stubbed * 1.02:
+                return
+        pytest.fail(
+            f"metrics-disabled discover exceeded 2% overhead: "
+            f"disabled={disabled:.4f}s stubbed={stubbed:.4f}s "
+            f"(ratio {disabled / stubbed:.3f})"
+        )
+
+
+# -- the metrics CLI -----------------------------------------------------------
+
+
+class TestMetricsCli:
+    def test_prometheus_dump_to_stdout(self, capsys):
+        exit_code = cli_main(
+            ["metrics", "--dataset", "fd-reduced-30", "--rows", "120"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "repro_engine_partition_cache_resident_bytes" in captured.out
+        assert "repro_mem_phase_preprocess_peak_bytes" in captured.out
+        assert "# TYPE" in captured.out
+        assert "counters" in captured.err  # the summary line
+
+    def test_jsonl_dump_to_file(self, tmp_path, capsys):
+        out = tmp_path / "scrape.jsonl"
+        exit_code = metrics_main(
+            [
+                "--dataset",
+                "fd-reduced-30",
+                "--rows",
+                "120",
+                "--format",
+                "jsonl",
+                "--out",
+                str(out),
+                "--no-memory",
+            ]
+        )
+        assert exit_code == 0
+        rebuilt = metrics_from_jsonl(out.read_text(encoding="utf-8"))
+        assert rebuilt.gauges[names.PARTITION_CACHE_RESIDENT_BYTES] > 0
+        # --no-memory: the run skips tracemalloc, so no mem.phase gauges.
+        assert names.MEM_PHASE_PREPROCESS not in rebuilt.gauges
+        assert "wrote jsonl scrape" in capsys.readouterr().err
+
+    def test_serve_scrape_answers_on_metrics_path(self):
+        import socket
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        payload = "repro_test_gauge 1\n"
+        server = threading.Thread(
+            target=serve_scrape, args=(payload, port), daemon=True
+        )
+        server.start()
+        for _ in range(50):
+            try:
+                with urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/metrics", timeout=1
+                ) as response:
+                    assert response.status == 200
+                    assert response.read().decode() == payload
+                break
+            except OSError:
+                time.sleep(0.05)
+        else:
+            pytest.fail("scrape server never came up")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/other", timeout=1
+            )
+        assert excinfo.value.code == 404
