@@ -82,6 +82,12 @@ PROTOCOLS: dict[str, Protocol] = {
         ("close", "unlink"),
         "shared-memory segment: close the mapping, then unlink the name",
     ),
+    "mmap-matrix": Protocol(
+        "mmap-matrix",
+        ("close", "unlink"),
+        "mmap-backed encoded-matrix file: close the write handle, then "
+        "unlink the temp file",
+    ),
     "worker-pool": Protocol(
         "worker-pool",
         ("close",),
@@ -119,6 +125,7 @@ PROTOCOLS: dict[str, Protocol] = {
 
 #: Constructor names that acquire a resource unconditionally.
 _CONSTRUCTOR_PROTOCOLS = {
+    "MmapSegment": "mmap-matrix",
     "WorkerPool": "worker-pool",
     "ThreadPoolExecutor": "executor",
     "ProcessPoolExecutor": "executor",

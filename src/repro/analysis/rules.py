@@ -21,6 +21,11 @@ RPR105    parallelism encapsulation — ``multiprocessing`` and
           ``concurrent.futures`` are imported only by
           ``engine/parallel.py`` and ``engine/shm.py``; everyone
           else goes through the :class:`WorkerPool` API
+RPR113    encoded-width discipline — no ``astype(np.int64)`` /
+          ``np.int64(...)`` widening of label data on the hot
+          path (``relation``/``engine``/``core``) outside the
+          fold kernel (``relation/validate.py``) and the columnar
+          kernels (``engine/columnar.py``)
 ========  =====================================================
 
 The whole-program rules (RPR101 import layering, RPR102 purity
@@ -620,6 +625,95 @@ class ParallelismEncapsulationRule(Rule):
                 )
 
 
+class EncodedWidthDisciplineRule(Rule):
+    """RPR113 — label data stays narrow on the hot path.
+
+    The columnar layer's whole premise is that labels travel at their
+    dictionary width (u8/u16/u32, :func:`repro.relation.preprocess.
+    dtype_for_cardinality`); one stray ``astype(np.int64)`` on a label
+    column allocates an 8-byte-per-row copy and silently undoes the
+    memory and bandwidth win.  Widening is sanctioned in exactly two
+    places — ``relation/validate.py`` (the int64 fold kernel and its
+    ``rhs_labels`` accessor) and ``engine/columnar.py`` (the encoded
+    kernels' own uint64 accumulators) — so everywhere else in the
+    ``relation``/``engine``/``core`` packages, ``.astype(np.int64)``
+    and ``np.int64(...)`` scalar/array construction are flagged.
+    Constructing *buffers* with ``dtype=np.int64`` keywords stays
+    legal (that is RPR006's territory, and buffers are not label
+    copies), as does ``astype(np.int64, copy=False)``: a no-op
+    normalization of data that is already int64, the re-densify idiom
+    inside the guarded fold.
+    """
+
+    code = "RPR113"
+    name = "encoded-width-discipline"
+    rationale = (
+        "astype(np.int64)/np.int64(...) widening of label data outside "
+        "relation/validate.py and engine/columnar.py allocates 8-byte "
+        "label copies on the hot path and silently undoes the columnar "
+        "encoding's memory and bandwidth win"
+    )
+    example = (
+        "labels = encoded.column(rhs).astype(np.int64)   # RPR113: widened copy\n"
+        "labels = rhs_labels(data, rhs)                  # sanctioned accessor\n"
+        "keys = keys.astype(np.int64, copy=False)        # no-op normalize: fine"
+    )
+    interests = (ast.Call,)
+
+    _PACKAGES = ("relation", "engine", "core")
+    _EXEMPT_FILES = ("relation/validate.py", "engine/columnar.py")
+
+    def visit(self, node: ast.AST, module: Module) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        if not module.in_packages(*self._PACKAGES):
+            return
+        if module.relpath.endswith(self._EXEMPT_FILES):
+            return
+        func = node.func
+        # np.int64(...) — an int64 scalar/array minted from label data.
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "int64"
+            and _is_module(func.value, "np", "numpy")
+        ):
+            yield self.finding(
+                module,
+                node,
+                "np.int64(...) mints widened label data; keep labels at "
+                "their dictionary width or go through "
+                "relation.validate.rhs_labels",
+            )
+            return
+        # X.astype(np.int64) — an 8-byte-per-row widened copy.
+        if not (isinstance(func, ast.Attribute) and func.attr == "astype"):
+            return
+        target = node.args[0] if node.args else None
+        if target is None:
+            for keyword in node.keywords:
+                if keyword.arg == "dtype":
+                    target = keyword.value
+        if not (
+            isinstance(target, ast.Attribute)
+            and target.attr == "int64"
+            and _is_module(target.value, "np", "numpy")
+        ):
+            return
+        for keyword in node.keywords:
+            if (
+                keyword.arg == "copy"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is False
+            ):
+                return  # no-op normalization, never an allocation
+        yield self.finding(
+            module,
+            node,
+            "astype(np.int64) widens label data to 8 bytes per row on "
+            "the hot path; keep the dictionary width, or widen inside "
+            "relation/validate.py / engine/columnar.py",
+        )
+
+
 def _build_export_map(base: Path) -> dict[str, set[str]]:
     """Map module relpaths to the function names packages export.
 
@@ -742,6 +836,7 @@ def default_rules() -> list[Rule]:
         ClockDisciplineRule(),
         MetricNameDisciplineRule(),
         ParallelismEncapsulationRule(),
+        EncodedWidthDisciplineRule(),
         *default_project_rules(),
         *default_dataflow_rules(),
         *default_lifecycle_rules(),

@@ -109,7 +109,10 @@ def _hit_rate(partition_cache: dict[str, int]) -> float | None:
 
 
 def _profiled_pass(
-    algorithm: str, relation: Any, jobs: str | None
+    algorithm: str,
+    relation: Any,
+    jobs: str | None,
+    backend: str | None = None,
 ) -> dict[str, Any]:
     """One traced + memory-profiled run supplying attribution fields.
 
@@ -120,7 +123,11 @@ def _profiled_pass(
     """
     with memory_profiling() as profiler:
         traced = run_algorithm(
-            create(algorithm).__class__, relation, trace=True, jobs=jobs
+            create(algorithm).__class__,
+            relation,
+            trace=True,
+            jobs=jobs,
+            backend=backend,
         )
     phases: dict[str, float] = {}
     if traced.telemetry is not None:
@@ -141,9 +148,14 @@ def _record_cell(
     repeats: int,
     jobs: str | None,
     memory: bool,
+    backend: str | None = None,
 ) -> dict[str, Any]:
     run: AlgorithmRun = run_algorithm(
-        create(algorithm).__class__, relation, repeats=repeats, jobs=jobs
+        create(algorithm).__class__,
+        relation,
+        repeats=repeats,
+        jobs=jobs,
+        backend=backend,
     )
     if not run.ok or run.seconds is None:
         return {"skipped": run.skipped}
@@ -160,7 +172,7 @@ def _record_cell(
         "cache_hit_rate": _hit_rate(run.partition_cache),
     }
     if memory:
-        entry.update(_profiled_pass(algorithm, relation, jobs))
+        entry.update(_profiled_pass(algorithm, relation, jobs, backend))
     return entry
 
 
@@ -172,24 +184,39 @@ def record_trajectory(
     jobs: str | None = None,
     memory: bool = True,
     description: str = "",
+    backends: list[str] | None = None,
 ) -> dict[str, Any]:
     """Measure the workload matrix and return the trajectory document.
 
     Each cell runs ``repeats`` untraced wall-clock repeats (median and
     min are both kept) and, with ``memory`` on, one extra traced +
     tracemalloc'd pass for phase and memory attribution.
+
+    ``backends`` adds extra per-backend cells: the entry ``"default"``
+    (or ``None``) records under the session-default backend with the
+    historical workload labels — the ones the regression gate matches
+    against earlier snapshots — while any named backend (``"columnar"``)
+    records the same matrix under ``label@backend``.  Named-backend cells
+    only ever appear as 'added' against a snapshot that lacks them, so
+    introducing a backend never breaks comparability.
     """
     workloads = workloads if workloads is not None else WORKLOADS
     algorithms = algorithms if algorithms is not None else ALGORITHMS
+    backend_list: list[str | None] = [
+        None if name in (None, "default") else name
+        for name in (backends if backends else [None])
+    ]
     entries: dict[str, dict[str, Any]] = {}
     try:
         for name, rows, seed in workloads:
             relation = registry.make(name, rows=rows, seed=seed)
             for algorithm in algorithms:
-                label = f"{name}[{rows}x{relation.num_columns}]/{algorithm}"
-                entries[label] = _record_cell(
-                    algorithm, relation, repeats, jobs, memory
-                )
+                base = f"{name}[{rows}x{relation.num_columns}]/{algorithm}"
+                for backend in backend_list:
+                    label = base if backend is None else f"{base}@{backend}"
+                    entries[label] = _record_cell(
+                        algorithm, relation, repeats, jobs, memory, backend
+                    )
     finally:
         # A crashed workload must still unlink published segments; only
         # the atexit hook would otherwise stand between us and orphans.
@@ -201,6 +228,7 @@ def record_trajectory(
         "host": host_fingerprint(),
         "jobs": jobs or "serial",
         "repeats": repeats,
+        "backends": [name or "default" for name in backend_list],
         "workloads": entries,
     }
 
@@ -379,6 +407,11 @@ def _cmd_record(args: argparse.Namespace) -> int:
     bench_name = args.bench_name or output.stem
     workloads = QUICK_WORKLOADS if args.quick else WORKLOADS
     algorithms = QUICK_ALGORITHMS if args.quick else ALGORITHMS
+    backends = (
+        [token.strip() for token in args.backends.split(",") if token.strip()]
+        if args.backends
+        else None
+    )
     document = record_trajectory(
         bench_name,
         workloads=workloads,
@@ -387,6 +420,7 @@ def _cmd_record(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         memory=not args.no_memory,
         description=args.description,
+        backends=backends,
     )
     output.parent.mkdir(parents=True, exist_ok=True)
     output.write_text(
@@ -451,6 +485,15 @@ def build_parser() -> argparse.ArgumentParser:
     record.add_argument("--repeats", type=int, default=DEFAULT_REPEATS)
     record.add_argument(
         "--jobs", default=None, help="pool spec for the cells (default serial)"
+    )
+    record.add_argument(
+        "--backends",
+        default=None,
+        help=(
+            "comma-separated backend cells, e.g. 'default,columnar'; "
+            "'default' keeps the historical labels, named backends record "
+            "as label@backend"
+        ),
     )
     record.add_argument(
         "--quick",

@@ -72,6 +72,7 @@ class EulerFD:
             config,
             clusters=context.sampling_clusters(config.dedupe_clusters),
             pool=context.pool,
+            backend=context.backend,
         )
         cycles = 0
         rounds = 0

@@ -28,6 +28,8 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..engine.parallel import WorkerPool, agree_masks_sharded
 from ..fd import attrset
 from ..obs import counter, gauge
@@ -53,10 +55,22 @@ Violation = tuple[int, int]
 class ClusterState:
     """Sampling state of one stripped-partition cluster."""
 
-    __slots__ = ("rows", "window", "history", "samples", "last_capa", "queue_level")
+    __slots__ = (
+        "rows",
+        "row_index",
+        "window",
+        "history",
+        "samples",
+        "last_capa",
+        "queue_level",
+    )
 
     def __init__(self, rows: tuple[int, ...], initial_window: int, history: int) -> None:
         self.rows = rows
+        self.row_index = np.asarray(rows, dtype=np.intp)
+        """``rows`` as an index array: window pair endpoints are plain
+        slices of it, so each sample hands the backend kernels zero-copy
+        views instead of rebuilding two Python lists."""
         self.window = initial_window
         self.history: deque[float] = deque(maxlen=history)
         self.samples = 0
@@ -120,12 +134,18 @@ class SamplingModule:
         config: EulerFDConfig,
         clusters: list[tuple[int, ...]] | None = None,
         pool: WorkerPool | None = None,
+        backend: object | None = None,
     ) -> None:
         self.data = data
         self.config = config
         # The execution context's worker pool; None (standalone use)
         # means the serial agree-mask kernel, exactly as before.
         self._pool = pool
+        # The execution context's validation backend; when set, its
+        # agree-mask kernel replaces the relation's generic one (the
+        # columnar backend decodes bit-packed masks without a Python
+        # per-pair loop).  None keeps the historical matrix path.
+        self._backend = backend
         self._universe = attrset.universe(data.num_columns)
         # The driver passes the execution context's shared (deduplicated)
         # cluster list; standalone use falls back to collecting it here.
@@ -263,21 +283,29 @@ class SamplingModule:
 
         Mutates: self, cluster, out, stats
         """
-        rows = cluster.rows
+        rows = cluster.row_index
         window = cluster.window
         num_positions = len(rows) - window + 1
-        positions = list(range(num_positions))
         cap = self.config.max_pairs_per_sample
         if cap is not None and num_positions > cap:
+            # Same regular stride as the historical ``int(i * step)``
+            # selection: positive doubles truncate identically.
             step = num_positions / cap
-            positions = [int(i * step) for i in range(cap)]
+            positions = (np.arange(cap) * step).astype(np.intp)
+            rows_a = rows[positions]
+            rows_b = rows[positions + (window - 1)]
             num_positions = cap
+        else:
+            rows_a = rows[:num_positions]
+            rows_b = rows[window - 1 :]
         new_count = 0
         seen = self._seen
-        rows_a = [rows[i] for i in positions]
-        rows_b = [rows[i + window - 1] for i in positions]
         if self._pool is not None:
-            masks = agree_masks_sharded(self._pool, self.data, rows_a, rows_b)
+            masks = agree_masks_sharded(
+                self._pool, self.data, rows_a, rows_b, backend=self._backend
+            )
+        elif self._backend is not None:
+            masks = self._backend.agree_masks(self.data, rows_a, rows_b)
         else:
             masks = self.data.agree_masks_bulk(rows_a, rows_b)
         for agree in masks:

@@ -6,7 +6,7 @@ groups, and extract a witnessing row pair — so the *strategy* (vectorized
 numpy vs pure Python) is swappable underneath an unchanged
 :class:`~repro.engine.context.ExecutionContext` API.
 
-Two implementations ship:
+Three implementations ship:
 
 * :class:`NumpyBackend` — today's vectorized kernels from
   :mod:`repro.relation.validate`, moved behind the protocol.  The
@@ -15,6 +15,13 @@ Two implementations ship:
   numpy fast path.  Slower but dependency-light on the hot kernels, and
   the cross-check that keeps the vectorized code honest (the CI engine
   job runs the whole suite under ``REPRO_BACKEND=python``).
+* :class:`ColumnarBackend` — fused kernels over the columnar
+  :class:`~repro.relation.preprocess.EncodedMatrix`
+  (:mod:`repro.engine.columnar`): radix group-key folds over narrow
+  dtypes, sort-free constancy checks, and bit-packed agree masks.
+  Declares ``needs_encoded`` so the execution layer materializes the
+  encoding once (``prepare``) and ships it to process workers over an
+  mmap-backed file instead of the shared-memory matrix copy.
 
 Selection order: explicit argument, then the ``REPRO_BACKEND``
 environment variable, then numpy.
@@ -25,14 +32,23 @@ from __future__ import annotations
 import os
 from typing import Protocol, runtime_checkable
 
-import numpy as np
-
 from ..fd import attrset
-from ..relation.preprocess import PreprocessedRelation
+from ..relation.preprocess import (
+    PreprocessedRelation,
+    agree_masks_from_matrix,
+)
 from ..relation.validate import (
     constant_within_groups,
     group_keys,
+    rhs_labels,
     violation_within_groups,
+)
+from .columnar import (
+    agree_masks_from_encoded,
+    encoded_constant_on,
+    encoded_group_keys,
+    encoded_of,
+    encoded_witness,
 )
 
 BACKEND_ENV = "REPRO_BACKEND"
@@ -46,9 +62,16 @@ class Backend(Protocol):
     """The kernel strategy behind an execution context.
 
     ``group_keys`` returns an opaque per-row grouping (rows share a key
-    iff they agree on every LHS attribute); the other two kernels consume
-    that object, so a backend may pick whatever representation folds
-    fastest for it.
+    iff they agree on every LHS attribute); ``constant_on`` and
+    ``witness`` consume that object, so a backend may pick whatever
+    representation folds fastest for it.  ``agree_masks`` is the
+    sampling-side kernel: bitmasks of agreeing attributes for a batch of
+    tuple pairs, bit-identical across backends.
+
+    Backends that validate over a representation other than the int64
+    label matrix additionally set ``needs_encoded = True`` and implement
+    ``prepare(data)`` to materialize it; the execution layer resolves
+    both via ``getattr`` so plain matrix backends need neither.
     """
 
     name: str
@@ -65,6 +88,11 @@ class Backend(Protocol):
         self, data: PreprocessedRelation, keys: object, rhs: int
     ) -> tuple[int, int] | None:
         """A row pair sharing a key but differing on ``rhs``, or None."""
+
+    def agree_masks(
+        self, data: PreprocessedRelation, rows_a: object, rows_b: object
+    ) -> list[int]:
+        """Agree bitmasks of many tuple pairs, in pair order."""
 
 
 class NumpyBackend:
@@ -86,8 +114,7 @@ class NumpyBackend:
 
         Pure: a read-only comparison.
         """
-        rhs_labels = data.matrix[:, rhs].astype(np.int64)
-        return constant_within_groups(keys, rhs_labels)
+        return constant_within_groups(keys, rhs_labels(data, rhs))
 
     def witness(
         self, data: PreprocessedRelation, keys: object, rhs: int
@@ -96,8 +123,16 @@ class NumpyBackend:
 
         Pure: a read-only scan.
         """
-        rhs_labels = data.matrix[:, rhs].astype(np.int64)
-        return violation_within_groups(keys, rhs_labels)
+        return violation_within_groups(keys, rhs_labels(data, rhs))
+
+    def agree_masks(
+        self, data: PreprocessedRelation, rows_a: object, rows_b: object
+    ) -> list[int]:
+        """Vectorized row comparison over the int64 label matrix.
+
+        Pure: delegates to the read-only matrix kernel.
+        """
+        return agree_masks_from_matrix(data.matrix, rows_a, rows_b)
 
 
 class PythonBackend:
@@ -128,9 +163,9 @@ class PythonBackend:
 
         Pure: a read-only scan.
         """
-        rhs_labels = data.matrix[:, rhs].tolist()
+        labels = data.matrix[:, rhs].tolist()
         first: dict[object, int] = {}
-        for key, label in zip(keys, rhs_labels):
+        for key, label in zip(keys, labels):
             seen = first.setdefault(key, label)
             if seen != label:
                 return False
@@ -143,16 +178,84 @@ class PythonBackend:
 
         Pure: a read-only scan.
         """
-        rhs_labels = data.matrix[:, rhs].tolist()
+        labels = data.matrix[:, rhs].tolist()
         first: dict[object, tuple[int, int]] = {}
-        for row, (key, label) in enumerate(zip(keys, rhs_labels)):
+        for row, (key, label) in enumerate(zip(keys, labels)):
             seen = first.setdefault(key, (row, label))
             if seen[1] != label:
                 return seen[0], row
         return None
 
+    def agree_masks(
+        self, data: PreprocessedRelation, rows_a: object, rows_b: object
+    ) -> list[int]:
+        """Delegates to the shared matrix kernel.
+
+        Agree masks are defined representation-independently, so the
+        pure-Python backend keeps the one vectorized sampling kernel all
+        matrix backends share rather than degrading the samplers.
+
+        Pure: delegates to the read-only matrix kernel.
+        """
+        return agree_masks_from_matrix(data.matrix, rows_a, rows_b)
+
+
+class ColumnarBackend:
+    """Fused kernels over the columnar :class:`EncodedMatrix` encoding.
+
+    Group keys fold radix-style over the narrow encoded columns,
+    constancy is a sort-free scatter/gather check, witnesses fall back
+    to a stable-sort scan only for genuinely violated candidates, and
+    agree masks compare contiguous narrow columns with a bit-packed
+    decode (:mod:`repro.engine.columnar`).  FD sets are bit-identical to
+    the numpy backend's; only witness pairs may differ (as they already
+    do between numpy and python), which the algorithms tolerate.
+    """
+
+    name = "columnar"
+
+    needs_encoded = True
+    """The execution layer materializes (and, for process pools,
+    mmap-publishes) the encoded matrix for this backend."""
+
+    def prepare(self, data: PreprocessedRelation) -> None:
+        """Materialize the columnar encoding once, ahead of the kernels.
+
+        Called by :class:`~repro.engine.context.ExecutionContext` inside
+        the preprocess span so the encode cost lands in the preprocessing
+        phase's memory attribution rather than the first validation.
+        """
+        encoded_of(data)
+
+    def group_keys(self, data: PreprocessedRelation, lhs: int) -> object:
+        """Guarded radix fold into dense uint64 keys.
+
+        May materialize the cached encoding on first use (prepare
+        normally did already); the relation's labels are never mutated.
+        """
+        return encoded_group_keys(encoded_of(data), list(attrset.to_indices(lhs)))
+
+    def constant_on(
+        self, data: PreprocessedRelation, keys: object, rhs: int
+    ) -> bool:
+        """Sort-free scatter/gather representative check."""
+        return encoded_constant_on(encoded_of(data), keys, rhs)
+
+    def witness(
+        self, data: PreprocessedRelation, keys: object, rhs: int
+    ) -> tuple[int, int] | None:
+        """Stable-sort scan, entered only for violated candidates."""
+        return encoded_witness(encoded_of(data), keys, rhs)
+
+    def agree_masks(
+        self, data: PreprocessedRelation, rows_a: object, rows_b: object
+    ) -> list[int]:
+        """Column-at-a-time comparison with bit-packed mask decode."""
+        return agree_masks_from_encoded(encoded_of(data), rows_a, rows_b)
+
 
 _BACKENDS: dict[str, type] = {
+    "columnar": ColumnarBackend,
     "numpy": NumpyBackend,
     "python": PythonBackend,
 }

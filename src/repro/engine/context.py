@@ -83,6 +83,13 @@ class ExecutionContext:
             self.data: PreprocessedRelation = preprocess(
                 relation, null_equals_null
             )
+            # Representation-specific preparation (the columnar backend
+            # materializes its EncodedMatrix here) is preprocessing:
+            # inside the span, its cost lands in this phase's time and
+            # memory attribution.
+            prepare = getattr(self.backend, "prepare", None)
+            if prepare is not None:
+                prepare(self.data)
         self.partitions = PartitionStore(
             self.data, cache_size=cache_size, max_bytes=max_cache_bytes
         )

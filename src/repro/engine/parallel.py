@@ -70,7 +70,14 @@ from ..relation.preprocess import (
     agree_masks_from_matrix,
     distinct_agree_masks_range,
 )
-from .shm import MatrixView, publish_matrix, resolve_matrix
+from .columnar import agree_masks_from_encoded, encoded_of
+from .shm import (
+    publish_encoded,
+    publish_matrix,
+    resolve_encoded,
+    resolve_matrix,
+    resolve_view,
+)
 
 JOBS_ENV = "REPRO_JOBS"
 """Environment variable supplying the default worker-pool spec."""
@@ -213,6 +220,14 @@ def _agree_masks_task(
     return _timed(agree_masks_from_matrix, matrix, list(rows_a), list(rows_b))
 
 
+def _agree_masks_encoded_task(
+    handle: object, rows_a: Sequence[int], rows_b: Sequence[int]
+) -> tuple[list[int], float]:
+    """Worker: agree masks of one pair chunk over the columnar encoding."""
+    encoded = resolve_encoded(handle)
+    return _timed(agree_masks_from_encoded, encoded, list(rows_a), list(rows_b))
+
+
 def _distinct_masks_task(
     handle: object, start: int, stop: int
 ) -> tuple[list[int], float]:
@@ -238,7 +253,7 @@ def _validate_task(
     from .backends import get_backend
 
     start = monotonic()
-    data = MatrixView(resolve_matrix(handle))
+    data = resolve_view(handle)
     backend = get_backend(backend_name)
     out: list[tuple[int, bool, tuple[int, int] | None]] = []
     for lhs, members in groups:
@@ -386,32 +401,54 @@ class WorkerPool:
 
         if self.kind != PROCESS:
             return InlineMatrix(matrix)
+        return self._publish_once(matrix, publish_matrix)
+
+    def encoded_handle(self, encoded: Any) -> object:
+        """The transport handle workers resolve an encoded matrix through.
+
+        The columnar counterpart of :meth:`matrix_handle`: serial and
+        thread pools hand the encoding over in-process; process pools
+        write it once to an mmap-backed temp file (inline fallback when
+        the temp dir is unwritable) and reuse the publication for the
+        encoding's lifetime.
+        """
+        from .shm import InlineEncoded
+
+        if self.kind != PROCESS:
+            return InlineEncoded(encoded)
+        return self._publish_once(encoded, publish_encoded)
+
+    def _publish_once(
+        self, payload: Any, publish: Callable[[Any], tuple[object, Callable[[], None]]]
+    ) -> object:
+        """Publish ``payload`` once and reuse the handle until it dies."""
         if self._closed:
             # A closed pool must fail loudly here: publishing would
-            # orphan the segment (close() already ran and never reruns),
-            # turning a stale-context bug into a /dev/shm leak.
+            # orphan the segment/file (close() already ran and never
+            # reruns), turning a stale-context bug into a resource leak.
             raise RuntimeError("worker pool is closed")
-        key = id(matrix)
+        key = id(payload)
         entry = self._published.get(key)
-        if entry is not None and entry[0]() is matrix:
+        if entry is not None and entry[0]() is payload:
             return entry[1]
-        handle, cleanup = publish_matrix(matrix)
+        handle, cleanup = publish(payload)
 
         def _forget(_ref: weakref.ref, key: int = key) -> None:
             self._published.pop(key, None)
             cleanup()
 
         try:
-            ref = weakref.ref(matrix, _forget)
+            ref = weakref.ref(payload, _forget)
         except TypeError:  # pragma: no cover - non-weakrefable buffers
-            ref = (lambda m: (lambda: m))(matrix)  # keep alive instead
+            ref = (lambda m: (lambda: m))(payload)  # keep alive instead
         self._published[key] = (ref, handle, cleanup)
         return handle
 
     # -- lifecycle --------------------------------------------------------
 
     def close(self) -> None:
-        """Shut the executor down and unlink every published segment.
+        """Shut the executor down and unlink every publication — shm
+        segments and mmap-backed encoded files alike.
 
         Mutates: self
         """
@@ -501,6 +538,7 @@ def agree_masks_sharded(
     data: Any,
     rows_a: Sequence[int],
     rows_b: Sequence[int],
+    backend: Any = None,
 ) -> list[int]:
     """Agree masks of a tuple-pair list, fanned out across the pool.
 
@@ -510,17 +548,25 @@ def agree_masks_sharded(
     :data:`MIN_PAIRS_PER_WORKER` pairs — run inline: the comparison is
     one vectorized numpy call and not worth a dispatch.
 
+    ``backend`` selects the mask kernel: ``None`` keeps the historical
+    matrix path bit-for-bit; a backend with ``needs_encoded`` (columnar)
+    computes masks over the encoding, shipping it to process workers via
+    the mmap path instead of the shared-memory matrix copy.  Mask values
+    are identical either way.
+
     Borrows: pool
     """
     if pool.is_serial or len(rows_a) < pool.jobs * MIN_PAIRS_PER_WORKER:
+        if backend is not None:
+            return backend.agree_masks(data, rows_a, rows_b)
         return data.agree_masks_bulk(rows_a, rows_b)
+    chunks = chunk_pairs(list(rows_a), list(rows_b), pool.jobs * CHUNKS_PER_WORKER)
+    if backend is not None and getattr(backend, "needs_encoded", False):
+        handle = pool.encoded_handle(encoded_of(data))
+        tasks = [(handle, chunk_a, chunk_b) for chunk_a, chunk_b in chunks]
+        return merge_chunked(pool.map_chunks(_agree_masks_encoded_task, tasks))
     handle = pool.matrix_handle(data.matrix)
-    tasks = [
-        (handle, chunk_a, chunk_b)
-        for chunk_a, chunk_b in chunk_pairs(
-            list(rows_a), list(rows_b), pool.jobs * CHUNKS_PER_WORKER
-        )
-    ]
+    tasks = [(handle, chunk_a, chunk_b) for chunk_a, chunk_b in chunks]
     return merge_chunked(pool.map_chunks(_agree_masks_task, tasks))
 
 
@@ -571,11 +617,18 @@ def validate_groups_sharded(
     Groups are chunked contiguously in sorted-LHS order and merged by
     chunk index; each group's keys are folded exactly once inside one
     worker (a group never straddles chunks), preserving the serial
-    fold-per-distinct-LHS accounting.
+    fold-per-distinct-LHS accounting.  Backends that validate over the
+    columnar encoding receive it via the mmap path; matrix backends keep
+    the shared-memory copy.
 
     Borrows: pool
     """
-    handle = pool.matrix_handle(data.matrix)
+    from .backends import get_backend
+
+    if getattr(get_backend(backend_name), "needs_encoded", False):
+        handle = pool.encoded_handle(encoded_of(data))
+    else:
+        handle = pool.matrix_handle(data.matrix)
     tasks = [
         (handle, backend_name, groups[start:stop], witnesses)
         for start, stop in chunk_ranges(len(groups), pool.jobs * CHUNKS_PER_WORKER)

@@ -19,23 +19,37 @@ Three handle flavors cover every execution mode:
   ``shared_memory`` is unavailable on the platform (or disabled for
   tests); the executor's own pickling ships it once per task.
 
-Lifecycle: :func:`publish_matrix` returns the handle plus a cleanup
-callable that closes *and unlinks* the segment.  The worker pool owning
-the publication runs the cleanup when it shuts down (and registers it
-with ``atexit``), so a clean interpreter exit leaves no segment behind —
-the property the CI no-leak check asserts.
+The columnar :class:`~repro.relation.preprocess.EncodedMatrix` travels a
+second, cheaper road: :func:`publish_encoded` writes the encoded columns
+once to a memory-mapped file under the temp directory
+(``repro_mmap_*``), and workers attach with ``mmap`` — the kernel shares
+the page cache across every worker, so there is no per-segment copy at
+all, just zero-copy ``np.frombuffer`` views.  Handles mirror the matrix
+flavors: :class:`InlineEncoded` (serial/thread, and the degradation path
+when the temp dir is unwritable — the executor's pickling ships it per
+task) and :class:`MmapEncodedRef`.
+
+Lifecycle: :func:`publish_matrix` / :func:`publish_encoded` return the
+handle plus a cleanup callable that closes *and unlinks* the segment or
+file.  The worker pool owning the publication runs the cleanup when it
+shuts down (and registers it with ``atexit``), so a clean interpreter
+exit leaves neither a ``/dev/shm`` segment nor a ``repro_mmap_*`` temp
+file behind — the properties the CI no-leak checks assert.
 """
 
 from __future__ import annotations
 
+import mmap
 import os
+import tempfile
 from collections.abc import Callable
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..obs import metric_gauge_add
-from ..obs.names import SHM_BYTES, SHM_SEGMENTS
+from ..obs.names import MMAP_BYTES, MMAP_FILES, SHM_BYTES, SHM_SEGMENTS
+from ..relation.preprocess import EncodedMatrix
 
 try:  # pragma: no cover - import success is the normal path
     from multiprocessing import resource_tracker, shared_memory
@@ -48,6 +62,14 @@ HAVE_SHARED_MEMORY = shared_memory is not None
 
 SEGMENT_PREFIX = "repro_shm_"
 """Name prefix of every segment this module creates (greppable in /dev/shm)."""
+
+MMAP_PREFIX = "repro_mmap_"
+"""Filename prefix of every mmap-backed encoded-matrix file (greppable in
+the temp directory)."""
+
+_MMAP_ALIGN = 8
+"""Column payloads start on 8-byte boundaries so every ``np.frombuffer``
+view is aligned regardless of the preceding columns' widths."""
 
 
 @dataclass(frozen=True)
@@ -75,7 +97,29 @@ class PickledMatrix:
     dtype: str
 
 
+@dataclass(frozen=True)
+class InlineEncoded:
+    """The encoded matrix itself — serial/thread handle, and the
+    degradation path for process pools without a writable temp dir (the
+    executor's own pickling then ships it once per task)."""
+
+    encoded: EncodedMatrix
+
+
+@dataclass(frozen=True)
+class MmapEncodedRef:
+    """Descriptor of a published mmap-backed encoded-matrix file."""
+
+    path: str
+    dtypes: tuple[str, ...]
+    cardinalities: tuple[int, ...]
+    num_rows: int
+    offsets: tuple[int, ...]
+
+
 MatrixHandle = InlineMatrix | SharedMatrixRef | PickledMatrix
+
+EncodedHandle = InlineEncoded | MmapEncodedRef
 
 _SEQUENCE = 0
 
@@ -85,6 +129,15 @@ def _next_segment_name() -> str:
     global _SEQUENCE
     _SEQUENCE += 1
     return f"{SEGMENT_PREFIX}{os.getpid()}_{_SEQUENCE}"
+
+
+def _next_mmap_path() -> str:
+    """A collision-resistant temp-file path, unique per (pid, counter)."""
+    global _SEQUENCE
+    _SEQUENCE += 1
+    return os.path.join(
+        tempfile.gettempdir(), f"{MMAP_PREFIX}{os.getpid()}_{_SEQUENCE}"
+    )
 
 
 def _discard_segment(segment: object) -> None:
@@ -218,6 +271,195 @@ def resolve_matrix(handle: object) -> np.ndarray:
     raise TypeError(f"not a matrix handle: {handle!r}")
 
 
+class MmapSegment:
+    """One mmap-backed encoded-matrix file this process owns.
+
+    The publisher-side resource of the mmap transport.  Release protocol
+    (RPR109 ``mmap-matrix``): ``close()`` the write handle, then
+    ``unlink()`` the temp file — mirroring the shm segment's
+    close-then-unlink order.  Workers never hold one of these; they
+    attach read-only via :func:`resolve_encoded`.
+    """
+
+    def __init__(self, path: str) -> None:
+        """Create (truncate) the backing file and hold the write handle.
+
+        Owns: self
+        """
+        self.path = path
+        self.size = 0
+        self._file = open(path, "wb")
+
+    def write_column(self, payload: bytes) -> int:
+        """Append one column's bytes at an 8-byte-aligned offset.
+
+        Returns the offset the column starts at, for the handle's
+        ``offsets`` metadata.
+
+        Mutates: self
+        """
+        offset = (self.size + _MMAP_ALIGN - 1) // _MMAP_ALIGN * _MMAP_ALIGN
+        if offset > self.size:
+            self._file.write(b"\x00" * (offset - self.size))
+        self._file.write(payload)
+        self.size = offset + len(payload)
+        return offset
+
+    def flush(self) -> None:
+        """Push buffered column bytes down to the file.
+
+        Required before the handle escapes to workers: a small encoding
+        fits entirely in the write handle's userspace buffer, and
+        ``mmap`` refuses the still-empty on-disk file.
+
+        Mutates: self
+        """
+        if self._file is not None:
+            self._file.flush()
+
+    def close(self) -> None:
+        """Flush and close the write handle (idempotent).
+
+        Mutates: self
+        """
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def unlink(self) -> None:
+        """Remove the backing file from the temp directory (idempotent).
+
+        Mutates: self
+        """
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:
+            pass
+
+
+def _discard_mmap_segment(segment: MmapSegment) -> None:
+    """Close and unlink one mmap-backed file this module created.
+
+    Owns: segment via mmap-matrix
+    """
+    segment.close()
+    segment.unlink()
+
+
+def publish_encoded(
+    encoded: EncodedMatrix, *, use_mmap: bool | None = None
+) -> tuple[object, Callable[[], None]]:
+    """Publish an encoded matrix for process workers; return (handle, cleanup).
+
+    The encoded columns are written once to a ``repro_mmap_*`` file in
+    the temp directory and the returned handle is a
+    :class:`MmapEncodedRef`; workers map the file read-only, so every
+    worker shares the kernel's page cache and no per-worker copy exists.
+    The cleanup callable closes and unlinks the file and is safe to call
+    more than once.  When the temp dir is unwritable (or mmap is
+    explicitly disabled) the publish degrades to :class:`InlineEncoded`
+    — correct, just shipped per task by the executor — and a failure
+    after creation discards the half-written file before re-raising.
+
+    Owns: return via call
+    """
+    if use_mmap is None:
+        use_mmap = True
+    if not use_mmap:
+        return InlineEncoded(encoded), lambda: None
+    try:
+        segment = MmapSegment(_next_mmap_path())
+    except OSError:  # pragma: no cover - temp dir unwritable
+        return InlineEncoded(encoded), lambda: None
+    try:
+        offsets = tuple(
+            segment.write_column(column.tobytes()) for column in encoded.columns
+        )
+        segment.flush()
+        handle = MmapEncodedRef(
+            path=segment.path,
+            dtypes=encoded.dtypes,
+            cardinalities=encoded.cardinalities,
+            num_rows=encoded.num_rows,
+            offsets=offsets,
+        )
+    except BaseException:
+        # e.g. disk-full mid-write: without this the temp file would
+        # outlive the failed publish (RPR109).
+        _discard_mmap_segment(segment)
+        raise
+    done = False
+    file_bytes = segment.size
+    metric_gauge_add(MMAP_FILES, 1.0)
+    metric_gauge_add(MMAP_BYTES, float(file_bytes))
+
+    def cleanup() -> None:
+        nonlocal done
+        if done:
+            return
+        done = True
+        metric_gauge_add(MMAP_FILES, -1.0)
+        metric_gauge_add(MMAP_BYTES, -float(file_bytes))
+        _discard_mmap_segment(segment)
+
+    return handle, cleanup
+
+
+# Per-process mmap attachment cache: path -> (mmap object, EncodedMatrix).
+# The mapping object pins the pages for the worker's lifetime; entries
+# die with the process (the coordinator owns the file's lifecycle).
+_MMAP_ATTACHED: dict[str, tuple[object, EncodedMatrix]] = {}
+
+
+def _attach_encoded(ref: MmapEncodedRef) -> EncodedMatrix:
+    cached = _MMAP_ATTACHED.get(ref.path)
+    if cached is not None:
+        return cached[1]
+    if ref.num_rows == 0 or not ref.dtypes:
+        # mmap rejects empty files; zero-row columns need no backing
+        columns = tuple(
+            np.empty(0, dtype=np.dtype(name)) for name in ref.dtypes
+        )
+        encoded = EncodedMatrix(
+            columns=columns,
+            cardinalities=ref.cardinalities,
+            num_rows=ref.num_rows,
+        )
+        _MMAP_ATTACHED[ref.path] = (None, encoded)
+        return encoded
+    file = open(ref.path, "rb")
+    try:
+        mapping = mmap.mmap(file.fileno(), 0, access=mmap.ACCESS_READ)
+    finally:
+        # the mapping holds its own reference to the underlying pages
+        file.close()
+    columns = tuple(
+        np.frombuffer(
+            mapping, dtype=np.dtype(name), count=ref.num_rows, offset=offset
+        )
+        for name, offset in zip(ref.dtypes, ref.offsets)
+    )
+    encoded = EncodedMatrix(
+        columns=columns, cardinalities=ref.cardinalities, num_rows=ref.num_rows
+    )
+    _MMAP_ATTACHED[ref.path] = (mapping, encoded)
+    return encoded
+
+
+def resolve_encoded(handle: object) -> EncodedMatrix:
+    """The encoded matrix behind any handle flavor (worker side).
+
+    Mmap attachments are cached per process; inline handles hand the
+    object straight through (the executor's pickling already rebuilt it
+    for process pools).
+    """
+    if isinstance(handle, InlineEncoded):
+        return handle.encoded
+    if isinstance(handle, MmapEncodedRef):
+        return _attach_encoded(handle)
+    raise TypeError(f"not an encoded-matrix handle: {handle!r}")
+
+
 class MatrixView:
     """A :class:`~repro.relation.preprocess.PreprocessedRelation` facade.
 
@@ -239,3 +481,42 @@ class MatrixView:
     @property
     def num_columns(self) -> int:
         return int(self.matrix.shape[1])
+
+
+class EncodedView:
+    """The columnar counterpart of :class:`MatrixView`.
+
+    The columnar backend's kernels reach the encoding through
+    ``encoded_matrix()`` (the same accessor ``PreprocessedRelation``
+    exposes), so worker processes run them unchanged against a resolved
+    mmap attachment without relation metadata or an int64 matrix.
+    """
+
+    __slots__ = ("encoded",)
+
+    def __init__(self, encoded: EncodedMatrix) -> None:
+        self.encoded = encoded
+
+    def encoded_matrix(self) -> EncodedMatrix:
+        return self.encoded
+
+    @property
+    def num_rows(self) -> int:
+        return int(self.encoded.num_rows)
+
+    @property
+    def num_columns(self) -> int:
+        return int(self.encoded.num_columns)
+
+
+def resolve_view(handle: object) -> object:
+    """A backend-ready relation view behind any handle flavor.
+
+    Encoded handles resolve to an :class:`EncodedView` (columnar
+    kernels), matrix handles to a :class:`MatrixView` (numpy/python
+    kernels) — the dispatch worker tasks use so one task body serves
+    every backend.
+    """
+    if isinstance(handle, (InlineEncoded, MmapEncodedRef)):
+        return EncodedView(resolve_encoded(handle))
+    return MatrixView(resolve_matrix(handle))

@@ -42,6 +42,8 @@ POOL_QUEUE_DEPTH = "engine.parallel.queue_depth"
 POOL_WORKERS = "engine.parallel.workers"
 SHM_SEGMENTS = "engine.shm.segments"
 SHM_BYTES = "engine.shm.bytes"
+MMAP_FILES = "engine.mmap.files"
+MMAP_BYTES = "engine.mmap.bytes"
 
 # -- covers --------------------------------------------------------------------
 
@@ -103,6 +105,8 @@ CATALOG: dict[str, str] = {
     POOL_WORKERS: "Workers configured on the active pool",
     SHM_SEGMENTS: "Live shared-memory segments published by this process",
     SHM_BYTES: "Bytes resident in live shared-memory segments",
+    MMAP_FILES: "Live mmap-backed encoded-matrix files published by this process",
+    MMAP_BYTES: "Bytes written to live mmap-backed encoded-matrix files",
     NCOVER_ADDED: "Non-FDs admitted to the negative cover",
     NCOVER_GENERALIZATIONS_EVICTED: "Generalizations evicted on non-FD insert",
     PCOVER_ADDED: "FDs admitted to the positive cover",

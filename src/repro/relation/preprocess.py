@@ -9,6 +9,7 @@ stripped partitions (Definition 7) seed the sampling module.
 
 from __future__ import annotations
 
+import sys
 from collections.abc import Iterator
 from dataclasses import dataclass
 from typing import Any
@@ -20,6 +21,132 @@ from .relation import Relation
 
 _NULL = object()
 """Internal sentinel distinguishing SQL NULL from the string 'None'."""
+
+_ENCODED_WIDTHS: tuple[tuple[int, "np.dtype"], ...] = (
+    (1 << 8, np.dtype(np.uint8)),
+    (1 << 16, np.dtype(np.uint16)),
+    (1 << 32, np.dtype(np.uint32)),
+)
+"""Dtype ladder for dictionary-encoded columns, narrowest first."""
+
+
+def dtype_for_cardinality(cardinality: int) -> "np.dtype":
+    """Narrowest unsigned dtype whose range covers labels ``0..cardinality-1``.
+
+    The bound is tight: a column with exactly 256 distinct values still
+    fits u8 (labels 0..255); promotion to u16 happens at 257, and to u32
+    at 65537.
+
+    Pure: maps an integer to a dtype.
+    """
+    if cardinality < 0:
+        raise ValueError(f"cardinality must be non-negative, got {cardinality}")
+    for bound, dtype in _ENCODED_WIDTHS:
+        if cardinality <= bound:
+            return dtype
+    raise OverflowError(  # pragma: no cover - needs > 2**32 rows
+        f"cardinality {cardinality} exceeds the u32 label range"
+    )
+
+
+@dataclass(frozen=True)
+class EncodedMatrix:
+    """Columnar dictionary encoding of a label matrix.
+
+    Each attribute's dense labels are stored as a contiguous 1-D array in
+    the narrowest unsigned dtype that fits the column's cardinality
+    (:func:`dtype_for_cardinality`), so kernels that walk one column at a
+    time touch 1, 2, or 4 bytes per row instead of the canonical matrix's
+    8.  Label values are identical to the matching ``matrix[:, j]`` column
+    — only the storage width changes — so equality comparisons (the only
+    operation FD discovery performs on labels) are representation-agnostic.
+    """
+
+    columns: tuple[np.ndarray, ...]
+    cardinalities: tuple[int, ...]
+    num_rows: int
+
+    @property
+    def num_columns(self) -> int:
+        return len(self.columns)
+
+    @property
+    def nbytes(self) -> int:
+        """Total resident bytes across all encoded columns."""
+        return sum(int(column.nbytes) for column in self.columns)
+
+    @property
+    def row_bytes(self) -> int:
+        """Bytes one row occupies across all encoded columns."""
+        return sum(int(column.dtype.itemsize) for column in self.columns)
+
+    @property
+    def dtypes(self) -> tuple[str, ...]:
+        """Per-column dtype names, in column order."""
+        return tuple(str(column.dtype) for column in self.columns)
+
+    def column(self, index: int) -> np.ndarray:
+        """The encoded label vector of one column."""
+        return self.columns[index]
+
+    def cardinality(self, index: int) -> int:
+        """Number of distinct labels in ``column``."""
+        return self.cardinalities[index]
+
+    def dtype_blocks(self) -> "tuple[tuple[np.ndarray, np.ndarray], ...]":
+        """Non-constant columns stacked into one 2-D block per dtype.
+
+        Each entry is ``(column_indices, block)`` where ``block[:, k]``
+        is the encoded column ``column_indices[k]``.  Pair-comparison
+        kernels gather whole blocks — one vectorized operation per
+        distinct width instead of one per column, which is what makes
+        small-batch agree-mask calls competitive with the row-slab
+        matrix kernel.  Cardinality-1 columns are excluded: their pairs
+        agree by definition.  Built lazily, cached on the instance
+        (same idiom as :attr:`PreprocessedRelation.encoded`).
+        """
+        cached = self.__dict__.get("_blocks")
+        if cached is None:
+            groups: dict[str, list[int]] = {}
+            for j, column in enumerate(self.columns):
+                if self.cardinalities[j] > 1:
+                    groups.setdefault(str(column.dtype), []).append(j)
+            cached = tuple(
+                (
+                    np.asarray(indices, dtype=np.intp),
+                    np.column_stack([self.columns[j] for j in indices]),
+                )
+                for indices in groups.values()
+            )
+            object.__setattr__(self, "_blocks", cached)
+        return cached
+
+
+def encode_matrix(matrix: np.ndarray) -> EncodedMatrix:
+    """Dictionary-encode an int64 label matrix into columnar storage.
+
+    Labels are already dense (:func:`_encode_column` assigns them in
+    first-occurrence order), so per-column cardinality is ``max + 1`` and
+    the narrowing cast is lossless by construction.  Returned columns are
+    C-contiguous and read-only.
+
+    Pure: reads the matrix only; returns a fresh encoding.
+    """
+    num_rows = int(matrix.shape[0])
+    columns = []
+    cardinalities = []
+    for j in range(int(matrix.shape[1])):
+        labels = matrix[:, j]
+        cardinality = int(labels.max()) + 1 if num_rows else 0
+        encoded = labels.astype(dtype_for_cardinality(cardinality))
+        encoded.setflags(write=False)
+        columns.append(encoded)
+        cardinalities.append(cardinality)
+    return EncodedMatrix(
+        columns=tuple(columns),
+        cardinalities=tuple(cardinalities),
+        num_rows=num_rows,
+    )
 
 
 @dataclass(frozen=True)
@@ -86,6 +213,54 @@ class PreprocessedRelation:
         """The dense label vector of one column."""
         return self.matrix[:, column]
 
+    @property
+    def encoded(self) -> "EncodedMatrix | None":
+        """The columnar encoding if already materialized, else ``None``.
+
+        Side-effect-free accessor for callers (the partition-store byte
+        cost model) that must observe the representation without forcing
+        an encode.
+        """
+        return self.__dict__.get("_encoded")
+
+    def encoded_matrix(self) -> "EncodedMatrix":
+        """The columnar dictionary encoding, materialized once and cached.
+
+        Encoding is lazy so relations served by the numpy/python backends
+        never pay for (or account) the columnar copy; the columnar
+        backend materializes it via :meth:`repro.engine.backends.ColumnarBackend.prepare`.
+        """
+        cached = self.__dict__.get("_encoded")
+        if cached is None:
+            cached = encode_matrix(self.matrix)
+            object.__setattr__(self, "_encoded", cached)
+        return cached
+
+
+def packed_agree_masks(equal: np.ndarray) -> list[int]:
+    """Bit-pack per-pair boolean agree rows into Python int masks.
+
+    Little-endian packing: bit ``j`` of a mask is attribute ``j``'s
+    agreement.  For relations of up to 64 attributes (every packed row
+    fits one machine word) the packed bytes decode through a single
+    ``uint64`` view — on sampling-heavy workloads the historical
+    per-pair ``int.from_bytes`` loop was the dominant per-pair cost.
+    Wider relations keep the loop, whose cost the pair count amortizes.
+
+    Pure: reads the boolean matrix only; returns a fresh list.
+    """
+    packed = np.packbits(equal, axis=1, bitorder="little")
+    width = packed.shape[1]
+    if width <= 8 and sys.byteorder == "little":
+        padded = np.zeros((packed.shape[0], 8), dtype=np.uint8)
+        padded[:, :width] = packed
+        return padded.view(np.uint64).ravel().tolist()
+    data = packed.tobytes()
+    return [
+        int.from_bytes(data[offset : offset + width], "little")
+        for offset in range(0, len(data), width)
+    ]
+
 
 def agree_masks_from_matrix(
     matrix: np.ndarray,
@@ -101,14 +276,7 @@ def agree_masks_from_matrix(
 
     Pure: reads the matrix and row lists only; returns a fresh list.
     """
-    equal = matrix[rows_a] == matrix[rows_b]
-    packed = np.packbits(equal, axis=1, bitorder="little")
-    width = packed.shape[1]
-    data = packed.tobytes()
-    return [
-        int.from_bytes(data[offset : offset + width], "little")
-        for offset in range(0, len(data), width)
-    ]
+    return packed_agree_masks(matrix[rows_a] == matrix[rows_b])
 
 
 def distinct_agree_masks_range(

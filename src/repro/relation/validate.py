@@ -73,6 +73,20 @@ def group_keys(data: PreprocessedRelation, lhs: int) -> np.ndarray:
     return keys
 
 
+def rhs_labels(data: PreprocessedRelation, rhs: int) -> np.ndarray:
+    """One RHS label column widened to int64 for the guarded fold kernels.
+
+    The only sanctioned int64 widening outside the fold itself: callers
+    (the numpy backend) hand these labels straight to
+    :func:`constant_within_groups` / :func:`violation_within_groups`,
+    whose fold arithmetic is int64 by contract.  Everything else keeps
+    labels in their storage width (RPR113).
+
+    Pure: reads the matrix only; returns a fresh column.
+    """
+    return data.matrix[:, rhs].astype(np.int64)
+
+
 def constant_within_groups(keys: np.ndarray, labels: np.ndarray) -> bool:
     """True when every key group is constant on ``labels``.
 
@@ -109,8 +123,7 @@ def fd_holds(data: PreprocessedRelation, fd: FD) -> bool:
     if data.num_rows <= 1:
         return True
     keys = group_keys(data, fd.lhs)
-    rhs = data.matrix[:, fd.rhs].astype(np.int64)
-    return constant_within_groups(keys, rhs)
+    return constant_within_groups(keys, rhs_labels(data, fd.rhs))
 
 
 def find_violation(data: PreprocessedRelation, fd: FD) -> tuple[int, int] | None:
@@ -122,5 +135,4 @@ def find_violation(data: PreprocessedRelation, fd: FD) -> tuple[int, int] | None
     if data.num_rows <= 1:
         return None
     keys = group_keys(data, fd.lhs)
-    rhs = data.matrix[:, fd.rhs].astype(np.int64)
-    return violation_within_groups(keys, rhs)
+    return violation_within_groups(keys, rhs_labels(data, fd.rhs))

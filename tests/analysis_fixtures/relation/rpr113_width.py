@@ -1,0 +1,18 @@
+"""RPR113 fixture: label data widened to int64 on the hot path.
+
+Both widening spellings the rule guards against: the ``astype`` copy
+that re-inflates a dictionary-encoded column to 8 bytes per row, and a
+``np.int64`` scalar minted from a label.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def widened_labels(encoded, rhs: int) -> object:
+    return encoded.column(rhs).astype(np.int64)
+
+
+def widened_scalar(label: int) -> object:
+    return np.int64(label)

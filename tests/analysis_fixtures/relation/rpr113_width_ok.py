@@ -1,0 +1,22 @@
+"""RPR113 clean variant: narrow labels, sanctioned idioms only.
+
+Buffers may pin ``dtype=np.int64`` (that is construction, not a label
+copy), ``astype(np.int64, copy=False)`` is the no-op normalization used
+by the guarded fold, and label columns travel at their dictionary width.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def narrow_labels(encoded, rhs: int) -> object:
+    return encoded.column(rhs)
+
+
+def scatter_buffer(domain: int) -> object:
+    return np.empty(domain, dtype=np.int64)
+
+
+def normalized(keys) -> object:
+    return keys.astype(np.int64, copy=False)

@@ -1,0 +1,9 @@
+"""RPR113 suppressed variant: inline disable silences the widening."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def widened_suppressed(encoded, rhs: int) -> object:
+    return encoded.column(rhs).astype(np.int64)  # repro-lint: disable=RPR113

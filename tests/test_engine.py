@@ -29,7 +29,7 @@ from repro.fd import FD, attrset
 from repro.relation import Relation, group_keys, preprocess
 from repro.relation.partition import partition_from_labels
 
-BACKENDS = ("numpy", "python")
+BACKENDS = ("numpy", "python", "columnar")
 
 
 def random_relation(seed: int, rows: int = 40, columns: int = 5, card: int = 3):
@@ -76,7 +76,7 @@ class TestBackendSelection:
             get_backend("cuda")
 
     def test_registered_names(self):
-        assert backend_names() == ["numpy", "python"]
+        assert backend_names() == ["columnar", "numpy", "python"]
         assert isinstance(NumpyBackend(), object)
 
 
@@ -252,3 +252,4 @@ class TestBackendEndToEndEquivalence:
                     default_algorithms()[algorithm]().discover(relation).fds
                 )
         assert results["numpy"] == results["python"]
+        assert results["numpy"] == results["columnar"]

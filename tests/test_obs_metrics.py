@@ -535,7 +535,12 @@ class TestEndToEndDiscover:
         relation = registry.make("fd-reduced-30", rows=150, seed=5)
         with collecting_metrics() as registry_:
             with memory_profiling():
-                context = ExecutionContext(relation, jobs="process:2")
+                # Pinned to the matrix backend: the columnar backend
+                # ships its encoding over the mmap transport, whose
+                # gauge balance test_columnar.py covers.
+                context = ExecutionContext(
+                    relation, jobs="process:2", backend="numpy"
+                )
                 with use_context(context):
                     create("eulerfd").discover(relation)
                 # Scrape before close: cleanup decrements the shm gauges.

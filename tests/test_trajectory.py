@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import importlib.util
 import json
+import os
 from pathlib import Path
 
 import pytest
@@ -94,7 +95,10 @@ class TestRecord:
         assert cell["best_seconds"] == min(cell["all_seconds"])
         assert cell["best_seconds"] <= cell["wall_seconds"]
         assert cell["fd_count"] > 0
-        assert cell["jobs"] == 1
+        # The cell records the resolved worker count; a REPRO_JOBS
+        # override (CI's fan-out suite runs) legitimately raises it.
+        spec = os.environ.get("REPRO_JOBS", "1")
+        assert cell["jobs"] == int(spec.rsplit(":", 1)[-1] or 1)
         assert 0.0 <= cell["cache_hit_rate"] <= 1.0
         # memory=False: no attribution fields on the cell.
         assert "phases" not in cell
@@ -114,6 +118,34 @@ class TestRecord:
         assert cell["memory_phases"]
         assert cell["peak_tracemalloc_bytes"] > 0
         assert cell["peak_rss_bytes"] > 0
+
+    def test_named_backends_record_suffixed_nongating_cells(self):
+        doc = record_trajectory(
+            "BENCH_T",
+            workloads=TINY,
+            algorithms=["eulerfd"],
+            repeats=1,
+            memory=False,
+            backends=["default", "columnar"],
+        )
+        assert doc["backends"] == ["default", "columnar"]
+        base = "fd-reduced-30[80x30]/eulerfd"
+        assert set(doc["workloads"]) == {base, f"{base}@columnar"}
+        default_cell = doc["workloads"][base]
+        columnar_cell = doc["workloads"][f"{base}@columnar"]
+        # The historical label records the session default backend...
+        assert default_cell["backend"] == os.environ.get(
+            "REPRO_BACKEND", "numpy"
+        )
+        assert columnar_cell["backend"] == "columnar"
+        # ...and both backends discover the same FD set.
+        assert default_cell["fd_count"] == columnar_cell["fd_count"]
+        # Against an old document without the backend, the suffixed cell
+        # is an addition — reported, never gated.
+        old = document({base: entry([1.0])})
+        comparisons = compare_trajectories(old, document(doc["workloads"]))
+        statuses = {c.workload: c.status for c in comparisons}
+        assert statuses[f"{base}@columnar"] == "added"
 
     def test_round_trips_through_load(self, tmp_path):
         doc = record_trajectory(
@@ -269,6 +301,27 @@ class TestCli:
         assert trajectory.main(["compare", str(BENCH_5), str(BENCH_5)]) == 0
         out = capsys.readouterr().out
         assert "fd-reduced-30[2000x30]/eulerfd" in out
+
+    def test_committed_trajectory_gate_holds(self, capsys):
+        # The committed BENCH_8 -> BENCH_9 step must stay within the
+        # noise-aware allowance, and BENCH_9's columnar cells must
+        # document the backend bit-identity: every label@columnar cell
+        # discovered exactly the FD count of its default sibling.
+        bench_8 = REPO_ROOT / "benchmarks" / "results" / "BENCH_8.json"
+        bench_9 = REPO_ROOT / "benchmarks" / "results" / "BENCH_9.json"
+        assert trajectory.main(["compare", str(bench_8), str(bench_9)]) == 0
+        out = capsys.readouterr().out
+        assert "@columnar" in out
+        doc = load_trajectory(bench_9)
+        assert doc["backends"] == ["default", "columnar"]
+        columnar = [w for w in doc["workloads"] if w.endswith("@columnar")]
+        assert columnar
+        for label in columnar:
+            sibling = label.removesuffix("@columnar")
+            assert (
+                doc["workloads"][label]["fd_count"]
+                == doc["workloads"][sibling]["fd_count"]
+            ), label
 
     def test_record_writes_the_document(self, tmp_path, capsys, monkeypatch):
         monkeypatch.setattr(trajectory, "QUICK_WORKLOADS", TINY)
