@@ -26,6 +26,10 @@ RPR113    encoded-width discipline — no ``astype(np.int64)`` /
           path (``relation``/``engine``/``core``) outside the
           fold kernel (``relation/validate.py``) and the columnar
           kernels (``engine/columnar.py``)
+RPR114    streaming-encode discipline — no full ``preprocess()``
+          / ``encode_matrix()`` re-encodes in ``core``/``engine``
+          outside the cold-start sites (``engine/context.py``,
+          ``engine/columnar.py``); append paths stay O(batch)
 ========  =====================================================
 
 The whole-program rules (RPR101 import layering, RPR102 purity
@@ -714,6 +718,69 @@ class EncodedWidthDisciplineRule(Rule):
         )
 
 
+class StreamingEncodeDisciplineRule(Rule):
+    """RPR114 — streaming paths never re-encode the whole relation.
+
+    The delta execution engine (DESIGN.md §12) makes appends O(batch):
+    ``PreprocessedRelation.append_rows`` extends the label dictionaries,
+    the encoded columns and the stripped partitions in place, and
+    ``PartitionStore.apply_delta`` keeps cached partitions warm.  One
+    stray ``preprocess(...)`` or ``encode_matrix(...)`` call on an
+    append path silently reinstates the O(N) full re-encode the engine
+    exists to avoid — and keeps working, so nothing but a profiler
+    would notice.  Full encodes are sanctioned at exactly two cold-start
+    sites — ``engine/context.py`` (the context constructor) and
+    ``engine/columnar.py`` (the bare-matrix correctness fallback of
+    ``encoded_of``) — so everywhere else in the ``core``/``engine``
+    packages the calls are flagged.  The ``relation`` package, which
+    *implements* both entry points, is out of scope by construction.
+    """
+
+    code = "RPR114"
+    name = "streaming-encode-discipline"
+    rationale = (
+        "preprocess(...)/encode_matrix(...) outside the sanctioned "
+        "cold-start sites re-encodes the whole relation, turning the "
+        "delta engine's O(batch) append into O(N) without failing any "
+        "correctness test"
+    )
+    example = (
+        "data = preprocess(self._relation())        # RPR114: O(N) per append\n"
+        "data = context.data                        # delta-maintained snapshot\n"
+        "delta = context.append_rows(batch)         # O(batch) change-batch API"
+    )
+    interests = (ast.Call,)
+
+    _PACKAGES = ("core", "engine")
+    _EXEMPT_FILES = ("engine/context.py", "engine/columnar.py")
+    _FULL_ENCODERS = frozenset({"preprocess", "encode_matrix"})
+
+    def visit(self, node: ast.AST, module: Module) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        if not module.in_packages(*self._PACKAGES):
+            return
+        if module.relpath.endswith(self._EXEMPT_FILES):
+            return
+        func = node.func
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        else:
+            return
+        if name not in self._FULL_ENCODERS:
+            return
+        yield self.finding(
+            module,
+            node,
+            f"{name}(...) re-encodes the whole relation; streaming paths "
+            "must stay O(batch) — use the execution context's "
+            "delta-maintained snapshot (context.data / "
+            "context.append_rows), or move the cold start into "
+            "engine/context.py",
+        )
+
+
 def _build_export_map(base: Path) -> dict[str, set[str]]:
     """Map module relpaths to the function names packages export.
 
@@ -837,6 +904,7 @@ def default_rules() -> list[Rule]:
         MetricNameDisciplineRule(),
         ParallelismEncapsulationRule(),
         EncodedWidthDisciplineRule(),
+        StreamingEncodeDisciplineRule(),
         *default_project_rules(),
         *default_dataflow_rules(),
         *default_lifecycle_rules(),

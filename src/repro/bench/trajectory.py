@@ -39,10 +39,12 @@ from pathlib import Path
 from typing import Any
 
 from ..algorithms import create
+from ..core import IncrementalEulerFD
 from ..datasets import registry
 from ..engine import close_all_pools
 from ..metrics import TimedRun
-from ..obs import memory_profiling, peak_rss_bytes
+from ..obs import memory_profiling, monotonic, peak_rss_bytes
+from ..relation import Relation
 from .runner import AlgorithmRun, run_algorithm
 
 SCHEMA = "repro-bench/1"
@@ -60,6 +62,12 @@ QUICK_WORKLOADS = [("fd-reduced-30", 500, 5)]
 
 ALGORITHMS = ["eulerfd", "hyfd", "fdep"]
 QUICK_ALGORITHMS = ["eulerfd"]
+
+APPEND_BATCHES = [1, 16, 64, 256]
+"""Batch sizes of the delta-append series (``--append-series``)."""
+
+APPEND_WORKLOADS = [("fd-reduced-30", 2000, 5)]
+"""The dataset the append-vs-rediscovery series is recorded on."""
 
 DEFAULT_REPEATS = 3
 DEFAULT_THRESHOLD = 0.10
@@ -231,6 +239,110 @@ def record_trajectory(
         "backends": [name or "default" for name in backend_list],
         "workloads": entries,
     }
+
+
+# -- the append series (delta engine vs full re-discovery) ---------------------
+
+
+def _append_cell(
+    relation: Any,
+    batch_rows: int,
+    repeats: int,
+    jobs: str | None,
+    backend: str | None,
+) -> dict[str, Any]:
+    """Time one delta append of the withheld last ``batch_rows`` rows.
+
+    Every repeat rebuilds a fresh :class:`IncrementalEulerFD` session on
+    the base prefix — base profiling is setup, excluded from the clock —
+    then times a single ``append`` of the suffix.  ``full_seconds`` is
+    best-of-repeats from-scratch EulerFD discovery on the grown relation
+    under the same engine settings; ``speedup`` divides the two, the
+    number the delta engine exists to maximize.
+    """
+    rows = list(relation.iter_rows())
+    if batch_rows >= len(rows):
+        return {"skipped": f"batch {batch_rows} >= relation {len(rows)}"}
+    base = Relation.from_rows(
+        rows[: len(rows) - batch_rows], relation.column_names
+    )
+    batch = rows[len(rows) - batch_rows :]
+    walls: list[float] = []
+    fd_count = None
+    for _ in range(repeats):
+        session = IncrementalEulerFD(base, jobs=jobs, backend=backend)
+        start = monotonic()
+        result = session.append(batch)
+        walls.append(monotonic() - start)
+        fd_count = len(result.fds)
+    spread = _spread(walls)
+    full: AlgorithmRun = run_algorithm(
+        create("eulerfd").__class__,
+        relation,
+        repeats=repeats,
+        jobs=jobs,
+        backend=backend,
+    )
+    entry: dict[str, Any] = {
+        "wall_seconds": spread.seconds,
+        "best_seconds": spread.best,
+        "stdev_seconds": spread.stdev,
+        "all_seconds": walls,
+        "repeats": repeats,
+        "fd_count": fd_count,
+        "jobs": jobs or 1,
+        "backend": backend,
+        "cache_hit_rate": None,
+        "batch_rows": batch_rows,
+        "base_rows": len(rows) - batch_rows,
+    }
+    if full.ok and full.seconds is not None:
+        full_best = min(full.all_seconds)
+        entry["full_seconds"] = full_best
+        entry["full_all_seconds"] = list(full.all_seconds)
+        entry["speedup"] = full_best / spread.best
+    return entry
+
+
+def record_append_series(
+    workloads: list[tuple[str, int, int]] | None = None,
+    batch_sizes: list[int] | None = None,
+    repeats: int = DEFAULT_REPEATS,
+    jobs: str | None = None,
+    backends: list[str] | None = None,
+) -> dict[str, dict[str, Any]]:
+    """The append-latency cells: ``label/append[B]`` per batch size.
+
+    Each cell records the latency of absorbing a batch of ``B`` rows
+    through the delta engine next to the cost of full re-discovery on
+    the same grown relation.  Reading the series across increasing ``B``
+    locates the crossover — the batch size past which re-running from
+    scratch stops being slower.  The labels only ever appear as 'added'
+    against snapshots that predate the series, so the regression gate's
+    comparability is preserved.
+    """
+    workloads = workloads if workloads is not None else APPEND_WORKLOADS
+    batch_sizes = batch_sizes if batch_sizes is not None else APPEND_BATCHES
+    backend_list: list[str | None] = [
+        None if name in (None, "default") else name
+        for name in (backends if backends else [None])
+    ]
+    entries: dict[str, dict[str, Any]] = {}
+    try:
+        for name, rows, seed in workloads:
+            relation = registry.make(name, rows=rows, seed=seed)
+            base = f"{name}[{rows}x{relation.num_columns}]"
+            for backend in backend_list:
+                for batch_rows in batch_sizes:
+                    label = f"{base}/append[{batch_rows}]"
+                    if backend is not None:
+                        label = f"{label}@{backend}"
+                    entries[label] = _append_cell(
+                        relation, batch_rows, repeats, jobs, backend
+                    )
+    finally:
+        close_all_pools()
+    return entries
 
 
 # -- loading (with the legacy BENCH_5 adapter) ---------------------------------
@@ -422,6 +534,21 @@ def _cmd_record(args: argparse.Namespace) -> int:
         description=args.description,
         backends=backends,
     )
+    if args.append_series:
+        batch_sizes = (
+            [int(token) for token in args.append_batches.split(",")]
+            if args.append_batches
+            else None
+        )
+        document["workloads"].update(
+            record_append_series(
+                workloads=QUICK_WORKLOADS if args.quick else None,
+                batch_sizes=batch_sizes,
+                repeats=args.repeats,
+                jobs=args.jobs,
+                backends=backends,
+            )
+        )
     output.parent.mkdir(parents=True, exist_ok=True)
     output.write_text(
         json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
@@ -499,6 +626,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick",
         action="store_true",
         help="CI-sized cut: one small workload, EulerFD only",
+    )
+    record.add_argument(
+        "--append-series",
+        action="store_true",
+        help="also record delta-append latency vs full re-discovery cells",
+    )
+    record.add_argument(
+        "--append-batches",
+        default=None,
+        help="comma-separated batch sizes for the append series",
     )
     record.add_argument(
         "--no-memory",

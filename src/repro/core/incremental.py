@@ -11,27 +11,42 @@ inversion machinery can absorb batches of new rows without starting over.
 
 * the **base** relation is profiled once — either exhaustively (every
   tuple pair, exact) or with EulerFD's sampling (approximate);
-* each **append** compares every new tuple against all tuples it shares
-  a stripped-partition cluster with (plus the other new ones), which
-  covers *every* pair involving a new tuple that could violate anything;
-  the resulting non-FDs stream through the same incremental inverter.
+* each **append** flows through the delta execution engine
+  (DESIGN.md §12): the owned :class:`~repro.engine.ExecutionContext`
+  extends its preprocessed matrix, columnar encoding and partition
+  store in place, and the returned
+  :class:`~repro.relation.preprocess.AppendDelta` names exactly the
+  clusters the new rows landed in.  Pairs are read off those touched
+  clusters — every pair involving a new tuple that could violate
+  anything, deduplicated across attributes in one vectorized
+  ``np.unique`` — and their agree masks stream through the same
+  incremental inverter.
 
 With an exhaustive base, the maintained cover stays exact after every
 append (property-tested against from-scratch discovery); with a sampled
 base it keeps EulerFD's approximation guarantees while doing only
-O(batch × cluster) work per append.
+O(batch × cluster) work per append — no re-encoding, no partition
+rebuild, no per-row Python grouping loop.
 """
 
 from __future__ import annotations
 
 from typing import Any
 
+import numpy as np
+
 from ..algorithms.fdep import compute_agree_masks
-from ..engine.parallel import WorkerPool, agree_masks_sharded, get_pool
+from ..engine.backends import Backend
+from ..engine.context import ExecutionContext
+from ..engine.parallel import WorkerPool, agree_masks_sharded
 from ..fd import FD, NegativeCover, attrset
-from ..obs import counter, span
-from ..obs.names import INCREMENTAL_PAIRS_COMPARED
-from ..relation.preprocess import preprocess
+from ..obs import counter, metric_inc, metric_time, span
+from ..obs.names import (
+    INCREMENTAL_PAIRS_COMPARED,
+    INCREMENTAL_APPEND_SECONDS,
+    INCREMENTAL_ROWS_TOTAL,
+)
+from ..relation.preprocess import AppendDelta
 from ..relation.relation import Relation
 from .config import EulerFDConfig
 from .inversion import Inverter
@@ -48,13 +63,21 @@ class IncrementalEulerFD:
         config: EulerFDConfig | None = None,
         exhaustive_base: bool = False,
         jobs: int | str | WorkerPool | None = None,
+        backend: str | Backend | None = None,
     ) -> None:
         self.config = config if config is not None else EulerFDConfig()
         self.exhaustive_base = exhaustive_base
-        self.pool = jobs if isinstance(jobs, WorkerPool) else get_pool(jobs)
-        self._columns: list[list[Any]] = [
-            list(column) for column in relation.columns
-        ]
+        # The engine owns a private delta-enabled context: appends extend
+        # the label dictionaries, encoded columns and cached partitions
+        # in place instead of re-preprocessing the grown relation.
+        self.context = ExecutionContext(
+            relation,
+            backend=backend,
+            null_equals_null=self.config.null_equals_null,
+            jobs=jobs,
+            delta=True,
+        )
+        self.pool = self.context.pool
         self._column_names = relation.column_names
         self._name = relation.name
         self.num_attributes = relation.num_columns
@@ -62,6 +85,8 @@ class IncrementalEulerFD:
         self.ncover = NegativeCover(self.num_attributes)
         self.inverter = Inverter(self.num_attributes)
         self._seen: dict[int, int] = {}
+        self._last_fds: frozenset[FD] | None = None
+        self.sampler: SamplingModule | None = None
         self.appends = 0
         self.pairs_compared = 0
         self._profile_base()
@@ -70,22 +95,32 @@ class IncrementalEulerFD:
 
     @property
     def num_rows(self) -> int:
-        return len(self._columns[0]) if self._columns else 0
+        return self.context.num_rows
 
     def append(self, rows: list[tuple[Any, ...]]) -> DiscoveryResult:
-        """Insert ``rows`` and return the refreshed discovery result."""
+        """Insert ``rows`` and return the refreshed discovery result.
+
+        The result's ``stats`` carry ``fds_added`` / ``fds_retracted``
+        relative to the previous snapshot; callers wanting the FDs
+        themselves diff two results via :meth:`DiscoveryResult.diff`.
+
+        Mutates: self
+        """
         watch = Stopwatch()
         for row in rows:
             if len(row) != self.num_attributes:
                 raise ValueError(
                     f"row arity {len(row)} != schema width {self.num_attributes}"
                 )
-        first_new = self.num_rows
-        for index, column in enumerate(self._columns):
-            column.extend(row[index] for row in rows)
         self.appends += 1
-        with span("append", batch=self.appends, rows=len(rows)):
-            pending = self._compare_new_rows(first_new)
+        with span("append", batch=self.appends, rows=len(rows)), metric_time(
+            INCREMENTAL_APPEND_SECONDS
+        ):
+            metric_inc(INCREMENTAL_ROWS_TOTAL, float(len(rows)))
+            delta = self.context.append_rows(rows)
+            if self.sampler is not None:
+                self.sampler.extend_clusters(delta, self.context.data)
+            pending = self._compare_new_rows(delta)
             with span("inversion", batch=self.appends):
                 self.inverter.process(pending)
         return self._snapshot(watch)
@@ -96,24 +131,35 @@ class IncrementalEulerFD:
 
     # -- internals ----------------------------------------------------------------
 
-    def _relation(self) -> Relation:
-        return Relation.from_columns(
-            self._columns, self._column_names, name=self._name
-        )
-
     def _profile_base(self) -> None:
         with span("profile_base", exhaustive=self.exhaustive_base):
-            relation = self._relation()
-            data = preprocess(relation, self.config.null_equals_null)
+            data = self.context.data
             pending: list[FD] = []
-            self._seed_empty_lhs(data, pending)
+            self._seed_empty_lhs(
+                tuple(
+                    data.cardinality(attribute)
+                    for attribute in range(self.num_attributes)
+                ),
+                pending,
+            )
             if self.exhaustive_base:
                 # sorted(): canonical admit order for the base profile (RPR107)
                 for agree in sorted(compute_agree_masks(data, pool=self.pool)):
                     self._admit(agree, self._universe & ~agree, pending)
                 self.pairs_compared += data.num_rows * (data.num_rows - 1) // 2
             else:
-                sampler = SamplingModule(data, self.config, pool=self.pool)
+                # The sampler outlives the base profile: appends extend its
+                # cluster states in place, so a streaming driver can keep
+                # sampling never-compared pairs of the grown relation.
+                sampler = SamplingModule(
+                    data,
+                    self.config,
+                    clusters=self.context.sampling_clusters(
+                        self.config.dedupe_clusters
+                    ),
+                    pool=self.pool,
+                    backend=self.context.backend,
+                )
                 while sampler.has_more():
                     violations, stats = sampler.run_pass()
                     if stats.pairs_compared == 0:
@@ -122,50 +168,62 @@ class IncrementalEulerFD:
                         self._admit(agree, novel, pending)
                     sampler.revive()
                 self.pairs_compared += sampler.total_pairs
+                self.sampler = sampler
             self.inverter.process(pending)
 
-    def _seed_empty_lhs(self, data, pending: list[FD]) -> None:
+    def _seed_empty_lhs(
+        self, cardinalities: tuple[int, ...], pending: list[FD]
+    ) -> None:
         for attribute in range(self.num_attributes):
-            if data.cardinality(attribute) > 1:
+            if cardinalities[attribute] > 1:
                 non_fd = FD(0, attribute)
                 if self.ncover.add(non_fd):
                     pending.append(non_fd)
 
-    def _compare_new_rows(self, first_new: int) -> list[FD]:
-        """Compare each new tuple against every cluster-mate (old and new)."""
-        relation = self._relation()
-        data = preprocess(relation, self.config.null_equals_null)
+    def _compare_new_rows(self, delta: AppendDelta) -> list[FD]:
+        """Compare each new tuple against every cluster-mate (old and new).
+
+        Pairs come straight off the delta's touched clusters — the
+        post-append clusters containing at least one new row, per
+        attribute — instead of regrouping the whole matrix: within a
+        cluster (ascending rows) every new member pairs with all earlier
+        members, which enumerates each unordered pair involving a new
+        row exactly once per attribute.  Cross-attribute duplicates are
+        collapsed by one ``np.unique`` over ``a * num_rows + b`` keys,
+        whose sorted order also makes the admit sequence canonical
+        (RPR107).  Work is O(batch × cluster), never O(relation).
+
+        Mutates: self
+        """
+        data = self.context.data
         pending: list[FD] = []
-        self._seed_empty_lhs(data, pending)
-        matrix = data.matrix
-        num_rows = data.num_rows
-        partners: dict[int, set[int]] = {
-            row: set() for row in range(first_new, num_rows)
-        }
-        for column in range(self.num_attributes):
-            groups: dict[int, list[int]] = {}
-            labels = matrix[:, column]
-            for row in range(num_rows):
-                groups.setdefault(int(labels[row]), []).append(row)
-            for group in groups.values():
-                if len(group) < 2:
-                    continue
-                news = [row for row in group if row >= first_new]
-                if not news:
-                    continue
-                for new_row in news:
-                    partners[new_row].update(group)
-        rows_a: list[int] = []
-        rows_b: list[int] = []
-        for new_row, mates in partners.items():
-            for mate in mates:
-                if mate < new_row:  # each unordered pair once
-                    rows_a.append(mate)
-                    rows_b.append(new_row)
-        self.pairs_compared += len(rows_a)
-        counter(INCREMENTAL_PAIRS_COMPARED, len(rows_a))
-        if rows_a:
-            for agree in agree_masks_sharded(self.pool, data, rows_a, rows_b):
+        self._seed_empty_lhs(delta.cardinalities, pending)
+        first_new = delta.first_new
+        num_rows = delta.num_rows
+        pair_keys: list[np.ndarray] = []
+        for column_clusters in delta.touched:
+            for cluster in column_clusters:
+                members = np.asarray(cluster, dtype=np.int64)
+                split = int(np.searchsorted(members, first_new))
+                for position in range(split, members.size):
+                    # all earlier cluster-mates of one new row
+                    pair_keys.append(
+                        members[:position] * num_rows + members[position]
+                    )
+        if pair_keys:
+            keys = np.unique(np.concatenate(pair_keys))
+            rows_a = (keys // num_rows).astype(np.intp)
+            rows_b = (keys % num_rows).astype(np.intp)
+        else:
+            rows_a = rows_b = np.empty(0, dtype=np.intp)
+        self.pairs_compared += int(rows_a.size)
+        counter(INCREMENTAL_PAIRS_COMPARED, int(rows_a.size))
+        metric_inc(INCREMENTAL_PAIRS_COMPARED, float(rows_a.size))
+        if rows_a.size:
+            masks = agree_masks_sharded(
+                self.pool, data, rows_a, rows_b, backend=self.context.backend
+            )
+            for agree in masks:
                 self._admit(agree, self._universe & ~agree, pending)
         return pending
 
@@ -186,19 +244,27 @@ class IncrementalEulerFD:
                 pending.append(non_fd)
 
     def _snapshot(self, watch: Stopwatch) -> DiscoveryResult:
-        return make_result(
-            self.inverter.pcover,
+        fds = frozenset(self.inverter.pcover)
+        stats: dict[str, Any] = {
+            "appends": self.appends,
+            "pairs_compared": self.pairs_compared,
+            "ncover_size": len(self.ncover),
+            "pcover_size": len(fds),
+            "exhaustive_base": self.exhaustive_base,
+        }
+        previous = self._last_fds
+        if previous is not None:
+            stats["fds_added"] = len(fds - previous)
+            stats["fds_retracted"] = len(previous - fds)
+        result = make_result(
+            sorted(fds),
             "IncrementalEulerFD",
             self._name,
             self.num_rows,
             self.num_attributes,
             self._column_names,
             watch,
-            stats={
-                "appends": self.appends,
-                "pairs_compared": self.pairs_compared,
-                "ncover_size": len(self.ncover),
-                "pcover_size": len(self.inverter.pcover),
-                "exhaustive_base": self.exhaustive_base,
-            },
+            stats=stats,
         )
+        self._last_fds = fds
+        return result

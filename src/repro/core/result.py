@@ -12,6 +12,36 @@ from ..obs import RunTelemetry, current_recorder, monotonic
 
 
 @dataclass(frozen=True)
+class ResultDiff:
+    """The FD-set delta between two discovery results.
+
+    Produced by :meth:`DiscoveryResult.diff`; streaming consumers react
+    to what *changed* after an append batch instead of re-reading the
+    whole cover.  Under pure insertions FDs can only be retracted or
+    specialized, so ``added`` holds specializations of retracted FDs
+    (plus sampling discoveries) and ``retracted`` the invalidated ones.
+    """
+
+    added: frozenset[FD]
+    retracted: frozenset[FD]
+
+    def __bool__(self) -> bool:
+        return bool(self.added or self.retracted)
+
+    def __len__(self) -> int:
+        return len(self.added) + len(self.retracted)
+
+    def format(self, column_names: Sequence[str]) -> list[str]:
+        """Human-readable ``+``/``-`` lines, retractions first.
+
+        Pure: formats into a fresh list.
+        """
+        lines = [f"- {fd.format(column_names)}" for fd in sorted(self.retracted)]
+        lines += [f"+ {fd.format(column_names)}" for fd in sorted(self.added)]
+        return lines
+
+
+@dataclass(frozen=True)
 class DiscoveryResult:
     """The output of one FD-discovery run.
 
@@ -43,6 +73,16 @@ class DiscoveryResult:
 
     def __contains__(self, fd: FD) -> bool:
         return fd in self.fds
+
+    def diff(self, previous: "DiscoveryResult") -> ResultDiff:
+        """The FD-set delta from ``previous`` to this result.
+
+        Pure: two frozenset differences.
+        """
+        return ResultDiff(
+            added=self.fds - previous.fds,
+            retracted=previous.fds - self.fds,
+        )
 
     def format_fds(self, limit: int | None = None) -> list[str]:
         """Human-readable FD strings using the relation's column names."""

@@ -108,6 +108,24 @@ class ClusterState:
         """
         self.history.clear()
 
+    def extend(self, rows: tuple[int, ...]) -> None:
+        """Grow the cluster in place after an append delta.
+
+        ``rows`` is the cluster's post-append membership, of which this
+        state's current rows are a prefix subsequence.  The window size is
+        kept: positions already compared pair old rows at smaller windows
+        only, so resuming at the current window never repeats a pair —
+        new-row pairs the resumed windows skip are covered exhaustively
+        by the incremental engine's new-row comparison.  The retirement
+        streak is cleared (an extension is fresh signal), and an
+        exhausted cluster whose window now fits again becomes eligible.
+
+        Mutates: self
+        """
+        self.rows = rows
+        self.row_index = np.asarray(rows, dtype=np.intp)
+        self.history.clear()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"ClusterState(size={len(self.rows)}, window={self.window}, "
@@ -212,6 +230,58 @@ class SamplingModule:
             self.revivals += 1
             counter(SAMPLER_REVIVED_CLUSTERS, revived)
         return revived
+
+    def extend_clusters(
+        self, delta: object, data: PreprocessedRelation | None = None
+    ) -> int:
+        """Absorb an append delta: grow touched clusters, admit born ones.
+
+        ``delta`` is the :class:`~repro.relation.preprocess.AppendDelta`
+        of one batch; ``data`` the post-append snapshot, which replaces
+        the module's (now prefix-only) view when given.  Every post-append cluster that contains a new row
+        either extends an existing :class:`ClusterState` (matched by its
+        pre-append prefix — O(batch) lookups, no re-collection) or enters
+        as a fresh state with top scheduling priority.  Duplicate
+        post-append clusters across attributes are registered once,
+        mirroring the deduplicated cluster lists the module is built
+        from.  Call between passes: states in flight inside a pass keep
+        their identity, so in-place growth is safe.
+
+        Returns how many clusters were extended or born.
+
+        Mutates: self
+        """
+        if data is not None:
+            self.data = data
+        available: dict[tuple[int, ...], list[ClusterState]] = {}
+        for state in self._clusters:
+            available.setdefault(state.rows, []).append(state)
+        first_new: int = delta.first_new  # type: ignore[attr-defined]
+        seen_new: set[tuple[int, ...]] = set()
+        changed = 0
+        born: list[ClusterState] = []
+        for column_clusters in delta.touched:  # type: ignore[attr-defined]
+            for cluster in column_clusters:
+                if cluster in seen_new:
+                    continue
+                seen_new.add(cluster)
+                prefix = tuple(row for row in cluster if row < first_new)
+                bucket = available.get(prefix)
+                if bucket:
+                    state = bucket.pop()
+                    state.extend(cluster)
+                    available.setdefault(cluster, []).append(state)
+                else:
+                    born.append(
+                        ClusterState(
+                            cluster,
+                            self.config.initial_window,
+                            self.config.retire_history,
+                        )
+                    )
+                changed += 1
+        self._clusters.extend(born)
+        return changed
 
     def _refill_queue(self) -> None:
         """Enqueue every eligible cluster; unsampled ones get top priority."""

@@ -178,9 +178,34 @@ def agree_masks_from_encoded(
     distinct width, over 1–4 bytes per cell instead of the matrix
     kernel's 8 — and skips cardinality-1 columns, whose pairs agree by
     definition.  Mask values are bit-identical to the int64 kernel's.
+
+    Small pair batches against an encoding whose dtype blocks were never
+    materialized gather per column instead: building the blocks is an
+    O(rows × columns) copy, which would put a full-relation pass on the
+    delta engine's O(batch) append path (DESIGN.md §12) just to compare
+    a handful of pairs.  The bypass is bounded per instance: a delta
+    append creates a fresh snapshot per batch so it always qualifies,
+    while a long-lived encoding serving a stream of small sampling
+    batches (a full discovery run) builds its blocks after a couple of
+    gathers — per-column gathers repeated hundreds of times cost more
+    than the one-time stack they were avoiding.
     """
     index_a = np.asarray(rows_a, dtype=np.intp)
     index_b = np.asarray(rows_b, dtype=np.intp)
+    small_gathers = encoded.__dict__.get("_small_gathers", 0)
+    if (
+        encoded.__dict__.get("_blocks") is None
+        and index_a.shape[0] * 4 < encoded.num_rows
+        and small_gathers < 2
+    ):
+        object.__setattr__(encoded, "_small_gathers", small_gathers + 1)
+        equal = np.ones(
+            (int(index_a.shape[0]), encoded.num_columns), dtype=np.bool_
+        )
+        for j, column in enumerate(encoded.columns):
+            if encoded.cardinalities[j] > 1:
+                equal[:, j] = column[index_a] == column[index_b]
+        return packed_agree_masks(equal)
     blocks = encoded.dtype_blocks()
     if len(blocks) == 1 and blocks[0][0].size == encoded.num_columns:
         # one width, no constant columns: compare in place, no scatter

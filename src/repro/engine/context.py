@@ -34,7 +34,7 @@ from ..obs.names import (
     VALIDATE_LHS_FOLDS,
 )
 from ..relation.partition import StrippedPartition
-from ..relation.preprocess import PreprocessedRelation, preprocess
+from ..relation.preprocess import AppendDelta, PreprocessedRelation, preprocess
 from ..relation.relation import Relation
 from .backends import Backend, get_backend
 from .parallel import (
@@ -73,6 +73,7 @@ class ExecutionContext:
         cache_size: int = DEFAULT_CACHE_SIZE,
         max_cache_bytes: int | None = None,
         jobs: int | str | PoolSpec | WorkerPool | None = None,
+        delta: bool = False,
     ) -> None:
         self.backend = get_backend(backend)
         self.pool = jobs if isinstance(jobs, WorkerPool) else get_pool(jobs)
@@ -80,8 +81,10 @@ class ExecutionContext:
         with span("preprocess", relation=relation.name), phase_memory(
             MEM_PHASE_PREPROCESS
         ):
+            # ``delta=True`` retains the encoder state so append_rows is
+            # O(batch) from the first batch — the streaming cold start.
             self.data: PreprocessedRelation = preprocess(
-                relation, null_equals_null
+                relation, null_equals_null, delta=delta
             )
             # Representation-specific preparation (the columnar backend
             # materializes its EncodedMatrix here) is preprocessing:
@@ -115,6 +118,32 @@ class ExecutionContext:
             self.data.relation is relation
             and self.null_equals_null == null_equals_null
         )
+
+    # -- change batches ----------------------------------------------------------
+
+    def append_rows(self, rows: Sequence[tuple]) -> AppendDelta:
+        """Ingest a batch of new rows, keeping every derived layer warm.
+
+        The change-batch API of the delta engine (DESIGN.md §12): the
+        preprocessed relation, the columnar encoding (when the backend
+        materialized one) and the partition store are all extended in
+        place — O(batch) work, no re-encoding, no partition rebuilds —
+        and the returned :class:`AppendDelta` tells callers exactly which
+        clusters the new rows landed in.  Sampling-cluster lists are
+        re-listed lazily from the delta-maintained partitions on next
+        use (pointer-level work; the partitions themselves stay warm).
+
+        Mutates: self
+        """
+        with span("append_rows", rows=len(rows)):
+            data = self.data.append_rows(list(rows))
+            delta = data.append_delta
+            self.data = data
+            self.partitions.apply_delta(data, delta)
+            # cluster lists are cheap listings over the (warm) singleton
+            # partitions; drop them and re-list on demand
+            self._clusters.clear()
+        return delta
 
     # -- partitions ------------------------------------------------------------
 

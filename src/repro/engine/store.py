@@ -40,6 +40,8 @@ from collections import OrderedDict
 from ..fd import attrset
 from ..obs import counter, metric_gauge_set, metric_inc
 from ..obs.names import (
+    INCREMENTAL_STORE_DELTA_APPLIED,
+    INCREMENTAL_STORE_DELTA_REBUILT,
     PARTITION_CACHE_DERIVE,
     PARTITION_CACHE_EVICT,
     PARTITION_CACHE_EVICTED_BYTES,
@@ -48,10 +50,15 @@ from ..obs.names import (
     PARTITION_CACHE_RESIDENT_BYTES,
 )
 from ..relation.partition import StrippedPartition
-from ..relation.preprocess import PreprocessedRelation
+from ..relation.preprocess import AppendDelta, PreprocessedRelation
 
 DEFAULT_CACHE_SIZE = 4096
 """Non-pinned entries kept before LRU eviction."""
+
+DELTA_EXTEND_LIMIT = 32
+"""Most-recently-used cached entries extended in place per append; colder
+entries are released instead (to be re-derived on demand from the
+delta-maintained pinned layer), bounding per-append work."""
 
 ENTRY_OVERHEAD_BYTES = 96
 """Estimated fixed cost per cached entry (dict slot, key, object header)."""
@@ -156,6 +163,8 @@ class PartitionStore:
         self.derives = 0
         self.evictions = 0
         self.evicted_bytes = 0
+        self.delta_applied = 0
+        self.delta_rebuilt = 0
         metric_gauge_set(PARTITION_CACHE_RESIDENT_BYTES, float(self.resident_bytes))
 
     @property
@@ -192,6 +201,8 @@ class PartitionStore:
             "derives": self.derives,
             "evictions": self.evictions,
             "evicted_bytes": self.evicted_bytes,
+            "delta_applied": self.delta_applied,
+            "delta_rebuilt": self.delta_rebuilt,
         }
 
     # -- lookup ----------------------------------------------------------------
@@ -231,6 +242,152 @@ class PartitionStore:
         if mask in self._pinned:
             return
         self._store(mask, partition)
+
+    # -- delta updates -----------------------------------------------------------
+
+    def apply_delta(self, data: PreprocessedRelation, delta: AppendDelta) -> None:
+        """Advance the store to the post-append snapshot ``data`` in place.
+
+        The pinned layer is delta-maintained for free: π(∅) grows by the
+        new row indices and the singletons re-point at ``data.stripped``,
+        whose cluster tuples the preprocessing delta already extended
+        with structural sharing.  Cached derived entries are extended
+        with the new rows' cluster memberships — up to
+        :data:`DELTA_EXTEND_LIMIT` most-recently-used entries per append
+        (``delta_applied``); colder entries are released and re-derived
+        on demand from the extended pinned layer (``delta_rebuilt``).
+        Either way the cache is never blanket-invalidated, and every
+        surviving entry is exact over the grown relation.
+
+        Mutates: self
+        """
+        old_rows = self._data.num_rows
+        if delta.first_new != old_rows or data.num_rows < old_rows:
+            raise ValueError(
+                f"delta does not extend this store's relation: store at "
+                f"{old_rows} rows, delta covers "
+                f"[{delta.first_new}, {delta.num_rows})"
+            )
+        self._data = data
+        num_rows = data.num_rows
+        self._row_ref_bytes = label_width_bytes(data)
+        empty = StrippedPartition.from_tuples(
+            (tuple(range(num_rows)),) if num_rows > 1 else (), num_rows
+        )
+        self._pinned[attrset.EMPTY] = empty
+        for attribute, partition in enumerate(data.stripped):
+            self._pinned[attrset.singleton(attribute)] = partition
+        self._pinned_bytes = sum(
+            partition_cost_bytes(partition, self._row_ref_bytes) or 0
+            for partition in self._pinned.values()
+        )
+        # new-row -> single-attribute cluster maps, built lazily per
+        # attribute and shared across all extended entries of this delta
+        membership: dict[int, dict[int, tuple[int, ...]]] = {}
+        ordered = list(self._cache.keys())  # LRU -> MRU
+        keep = set(ordered[-DELTA_EXTEND_LIMIT:])
+        for mask in ordered:
+            if mask in keep:
+                extended = self._extend_partition(
+                    mask, self._cache[mask], delta, membership
+                )
+                self._cache[mask] = extended
+                previous_cost = self._costs.pop(mask, 0)
+                self._cached_bytes -= previous_cost
+                cost = partition_cost_bytes(extended, self._row_ref_bytes)
+                if cost is not None:
+                    self._costs[mask] = cost
+                    self._cached_bytes += cost
+                self.delta_applied += 1
+                metric_inc(INCREMENTAL_STORE_DELTA_APPLIED)
+            else:
+                del self._cache[mask]
+                self._cached_bytes -= self._costs.pop(mask, 0)
+                self.delta_rebuilt += 1
+                metric_inc(INCREMENTAL_STORE_DELTA_REBUILT)
+        metric_gauge_set(PARTITION_CACHE_RESIDENT_BYTES, float(self.resident_bytes))
+
+    def _extend_partition(
+        self,
+        mask: int,
+        partition: StrippedPartition,
+        delta: AppendDelta,
+        membership: dict[int, dict[int, tuple[int, ...]]],
+    ) -> StrippedPartition:
+        """``partition`` on ``mask``, exact over the grown relation.
+
+        New rows are placed by their label key over the mask's
+        attributes: a key matching an existing cluster joins it, keys
+        shared by several new rows open a fresh cluster, and a key seen
+        by exactly one new row can only pair with a previously-singleton
+        old row — found by scanning the new row's (delta-extended)
+        single-attribute cluster, which contains every old row agreeing
+        on at least the first mask attribute.  At most one such partner
+        can exist: two old rows agreeing on the whole mask would already
+        share a cluster.  Work is O(batch × |mask| + clusters), never a
+        re-grouping of old rows.  The shared ``membership`` cache is
+        filled lazily with the first attribute's new-row cluster map.
+
+        Mutates: membership
+        """
+        data = self._data
+        matrix = data.matrix
+        attrs = attrset.to_tuple(mask)
+        first_new = delta.first_new
+        index: dict[tuple[int, ...], int] = {}
+        for position, cluster in enumerate(partition.clusters):
+            anchor = cluster[0]
+            index[tuple(int(matrix[anchor, a]) for a in attrs)] = position
+        first_attr = attrs[0]
+        lookup = membership.get(first_attr)
+        if lookup is None:
+            lookup = {
+                row: cluster
+                for cluster in delta.touched[first_attr]
+                for row in cluster
+                if row >= first_new
+            }
+            membership[first_attr] = lookup
+        additions: dict[int, list[int]] = {}
+        fresh: dict[tuple[int, ...], list[int]] = {}
+        for row in range(first_new, data.num_rows):
+            key = tuple(int(matrix[row, a]) for a in attrs)
+            position = index.get(key)
+            if position is not None:
+                additions.setdefault(position, []).append(row)
+                continue
+            group = fresh.get(key)
+            if group is not None:
+                group.append(row)
+                continue
+            fresh[key] = group = [row]
+            candidates = lookup.get(row, ())
+            labels = matrix[row]
+            for mate in candidates:
+                if mate >= first_new:
+                    continue
+                if all(int(matrix[mate, a]) == int(labels[a]) for a in attrs):
+                    group.insert(0, mate)
+                    break
+        clusters: list[tuple[int, ...]] = []
+        grouped = partition.num_grouped_rows
+        for position, cluster in enumerate(partition.clusters):
+            extra = additions.get(position)
+            if extra is None:
+                clusters.append(cluster)
+            else:
+                clusters.append(cluster + tuple(extra))
+                grouped += len(extra)
+        born = sorted(
+            (group for group in fresh.values() if len(group) >= 2),
+            key=lambda group: group[0],
+        )
+        for group in born:
+            clusters.append(tuple(group))
+            grouped += len(group)
+        return StrippedPartition.from_tuples(
+            tuple(clusters), data.num_rows, grouped
+        )
 
     # -- derivation ------------------------------------------------------------
 

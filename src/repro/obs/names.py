@@ -61,6 +61,10 @@ INVERTER_NON_FDS_INVERTED = "inverter.non_fds_inverted"
 INVERTER_CANDIDATES_REMOVED = "inverter.candidates_removed"
 INVERTER_CANDIDATES_ADDED = "inverter.candidates_added"
 INCREMENTAL_PAIRS_COMPARED = "incremental.pairs_compared"
+INCREMENTAL_APPEND_SECONDS = "incremental.append.latency"
+INCREMENTAL_ROWS_TOTAL = "incremental.rows.total"
+INCREMENTAL_STORE_DELTA_APPLIED = "incremental.store.delta_applied"
+INCREMENTAL_STORE_DELTA_REBUILT = "incremental.store.delta_rebuilt"
 SAMPLER_PASSES = "sampler.passes"
 SAMPLER_CLUSTER_VISITS = "sampler.cluster_visits"
 SAMPLER_PAIRS_COMPARED = "sampler.pairs_compared"
@@ -118,6 +122,10 @@ CATALOG: dict[str, str] = {
     INVERTER_CANDIDATES_REMOVED: "Candidates removed during inversion",
     INVERTER_CANDIDATES_ADDED: "Specialized candidates added during inversion",
     INCREMENTAL_PAIRS_COMPARED: "Row pairs compared by incremental updates",
+    INCREMENTAL_APPEND_SECONDS: "Wall time per incremental append batch",
+    INCREMENTAL_ROWS_TOTAL: "Rows ingested through the incremental append path",
+    INCREMENTAL_STORE_DELTA_APPLIED: "Cached partitions extended in place by a store delta",
+    INCREMENTAL_STORE_DELTA_REBUILT: "Cached partitions released by a store delta for on-demand re-derivation",
     SAMPLER_PASSES: "MLFQ sampling passes executed",
     SAMPLER_CLUSTER_VISITS: "Cluster visits across sampling passes",
     SAMPLER_PAIRS_COMPARED: "Row pairs compared by the sampler",

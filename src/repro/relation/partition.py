@@ -40,6 +40,34 @@ class StrippedPartition:
         self.num_rows = num_rows
         self._num_grouped_rows = sum(len(cluster) for cluster in self.clusters)
 
+    @classmethod
+    def from_tuples(  # repro-lint: disable=RPR102 — the fresh instance aliases `cls` under the region analysis; only the new object is written
+        cls,
+        clusters: tuple[tuple[int, ...], ...],
+        num_rows: int,
+        num_grouped_rows: int | None = None,
+    ) -> "StrippedPartition":
+        """Wrap already-validated cluster tuples without per-row copies.
+
+        The delta-maintenance path of :mod:`repro.relation.preprocess`
+        rebuilds a partition per append while reusing every untouched
+        cluster tuple; re-tupling them through ``__init__`` would copy
+        every grouped row and turn an O(batch) append into O(N).  The
+        caller vouches that ``clusters`` is a tuple of int tuples, each
+        of size >= 2 — the same invariant ``__init__`` enforces.
+
+        Pure: wraps the given tuples; nothing is copied or mutated.
+        """
+        partition = cls.__new__(cls)
+        partition.clusters = clusters
+        partition.num_rows = num_rows
+        partition._num_grouped_rows = (
+            num_grouped_rows
+            if num_grouped_rows is not None
+            else sum(len(cluster) for cluster in clusters)
+        )
+        return partition
+
     # -- statistics ------------------------------------------------------------
 
     @property

@@ -5,6 +5,17 @@ label per distinct value *per attribute* (Table II): only value equality
 matters for FD discovery, never the values themselves.  The label matrix
 enables constant-time tuple-pair comparison, and the per-attribute
 stripped partitions (Definition 7) seed the sampling module.
+
+Streaming appends (DESIGN.md §12): :meth:`PreprocessedRelation.append_rows`
+extends the label dictionaries, the label matrix, the columnar encoding
+and the per-attribute stripped partitions **in place** — O(batch) work
+per append instead of re-encoding the table.  The retained encoder state
+lives in a :class:`_DeltaState` shared by every snapshot of one append
+lineage; snapshots stay frozen and their matrix/encoded views are
+read-only prefixes of amortized-growth buffers, so an old snapshot never
+observes newer rows.  Appends are linear: only the newest snapshot may
+be appended to (a stale snapshot raises), which is what keeps the shared
+buffers single-writer.
 """
 
 from __future__ import annotations
@@ -150,12 +161,329 @@ def encode_matrix(matrix: np.ndarray) -> EncodedMatrix:
 
 
 @dataclass(frozen=True)
+class AppendDelta:
+    """What one :meth:`PreprocessedRelation.append_rows` call changed.
+
+    ``touched[j]`` holds the post-append cluster tuples of attribute
+    ``j`` that contain at least one new row, ordered by first row (the
+    canonical stripped-partition order) — exactly the inverted-cluster-
+    index slice the incremental engine walks for partner discovery, and
+    what the partition store uses to place an appended row in its
+    single-attribute cluster.  ``cardinalities`` are the post-append
+    per-column distinct-label counts (labels are dense, so this is the
+    next free label).  ``promotions`` records every dtype-ladder
+    crossing as ``(column, old_dtype, new_dtype)``; ``cells_encoded``
+    counts the matrix cells dictionary-encoded by the append —
+    ``num_new × columns`` by construction, the figure the no-O(N)-rebuild
+    test asserts against.
+    """
+
+    first_new: int
+    num_new: int
+    num_rows: int
+    cardinalities: tuple[int, ...]
+    touched: tuple[tuple[tuple[int, ...], ...], ...]
+    promotions: tuple[tuple[int, str, str], ...]
+    cells_encoded: int
+
+
+class _DeltaState:
+    """Retained encoder and grouping state shared by one append lineage.
+
+    One instance backs every snapshot produced by successive
+    ``append_rows`` calls: the writable amortized-growth buffers behind
+    the snapshots' read-only views, the value→label dictionaries, and
+    per-column full group membership (label → ascending member rows)
+    from which stripped partitions are materialized with structural
+    sharing — untouched cluster tuples are reused, never re-tupled.
+    Only the newest snapshot (``size`` rows) may append, which keeps the
+    shared buffers single-writer; the state is not thread-safe.
+    """
+
+    __slots__ = (
+        "null_equals_null",
+        "size",
+        "capacity",
+        "matrix",
+        "codes",
+        "next_labels",
+        "members",
+        "multi",
+        "grouped",
+        "tuple_cache",
+        "encoded",
+        "appends",
+    )
+
+    def __init__(
+        self, num_rows: int, num_columns: int, null_equals_null: bool
+    ) -> None:
+        self.null_equals_null = null_equals_null
+        self.size = 0
+        self.capacity = 0
+        self.matrix: "np.ndarray | None" = None
+        self.codes: list[dict[Any, int]] = [{} for _ in range(num_columns)]
+        self.next_labels: list[int] = [0] * num_columns
+        # label -> member rows (ascending): the full, unstripped grouping.
+        self.members: list[list[list[int]]] = [[] for _ in range(num_columns)]
+        # labels with >= 2 members -> their first row; re-sorted by first
+        # row at materialization, which restores the canonical
+        # first-occurrence cluster order of ``partition_from_labels``.
+        self.multi: list[dict[int, int]] = [{} for _ in range(num_columns)]
+        self.grouped: list[int] = [0] * num_columns
+        # label -> materialized cluster tuple; dropped when the cluster
+        # grows, so unchanged clusters share one tuple across snapshots.
+        self.tuple_cache: list[dict[int, tuple[int, ...]]] = [
+            {} for _ in range(num_columns)
+        ]
+        self.encoded: "list[np.ndarray] | None" = None
+        self.appends = 0
+
+    def adopt_column(
+        self, j: int, labels: list[int], codes: dict[Any, int], next_label: int
+    ) -> None:
+        """Take ownership of one freshly-encoded column's state.
+
+        Mutates: self
+        """
+        self.codes[j] = codes
+        self.next_labels[j] = next_label
+        members: list[list[int]] = [[] for _ in range(next_label)]
+        for row, label in enumerate(labels):
+            members[label].append(row)
+        self.members[j] = members
+        multi = self.multi[j]
+        grouped = 0
+        for label, rows in enumerate(members):
+            if len(rows) >= 2:
+                multi[label] = rows[0]
+                grouped += len(rows)
+        self.grouped[j] = grouped
+
+    def materialize(self, j: int, num_rows: int) -> StrippedPartition:
+        """Column ``j``'s stripped partition at ``num_rows`` rows.
+
+        Pointer-level work only: every cluster tuple is served from the
+        per-label tuple cache when its membership did not change, and the
+        sort restores first-occurrence order from the per-label first
+        rows.
+
+        Mutates: self
+        """
+        cache = self.tuple_cache[j]
+        members = self.members[j]
+        clusters: list[tuple[int, ...]] = []
+        for label, _first in sorted(self.multi[j].items(), key=lambda kv: kv[1]):
+            cluster = cache.get(label)
+            if cluster is None:
+                cluster = tuple(members[label])
+                cache[label] = cluster
+            clusters.append(cluster)
+        return StrippedPartition.from_tuples(
+            tuple(clusters), num_rows, self.grouped[j]
+        )
+
+    def _reserve(self, num_rows: int, num_columns: int) -> None:
+        """Grow the amortized buffers to hold ``num_rows`` rows.
+
+        Mutates: self
+        """
+        if num_rows <= self.capacity:
+            return
+        capacity = max(num_rows, self.capacity * 2, 16)
+        grown = np.empty((capacity, num_columns), dtype=np.int64)
+        grown[: self.size] = self.matrix[: self.size]
+        self.matrix = grown
+        if self.encoded is not None:
+            for j, column in enumerate(self.encoded):
+                buffer = np.empty(capacity, dtype=column.dtype)
+                buffer[: self.size] = column[: self.size]
+                self.encoded[j] = buffer
+        self.capacity = capacity
+
+    def _adopt_encoded(self, encoded: EncodedMatrix) -> None:
+        """Bootstrap growable narrow buffers from a materialized encoding.
+
+        Mutates: self
+        """
+        buffers: list[np.ndarray] = []
+        for column in encoded.columns:
+            buffer = np.empty(max(self.capacity, self.size), dtype=column.dtype)
+            buffer[: self.size] = column
+            buffers.append(buffer)
+        self.encoded = buffers
+
+    def append_batch(
+        self, snapshot: "PreprocessedRelation", rows: "list[tuple[Any, ...]]"
+    ) -> "PreprocessedRelation":
+        """Encode ``rows`` into the lineage and build the next snapshot.
+
+        Mutates: self
+        """
+        first_new = self.size
+        num_new = len(rows)
+        num_rows = first_new + num_new
+        num_columns = len(self.codes)
+        if self.encoded is None:
+            encoded_prev = snapshot.encoded
+            if encoded_prev is not None:
+                self._adopt_encoded(encoded_prev)
+        self._reserve(num_rows, num_columns)
+        matrix = self.matrix
+        touched: list[tuple[tuple[int, ...], ...]] = []
+        promotions: list[tuple[int, str, str]] = []
+        partitions: list[StrippedPartition] = []
+        for j in range(num_columns):
+            codes = self.codes[j]
+            members = self.members[j]
+            multi = self.multi[j]
+            cache = self.tuple_cache[j]
+            next_label = self.next_labels[j]
+            touched_multi: dict[int, None] = {}
+            for offset, row in enumerate(rows):
+                value = row[j]
+                if value is None and not self.null_equals_null:
+                    label = next_label
+                    next_label += 1
+                else:
+                    key = _NULL if value is None else value
+                    label = codes.get(key)
+                    if label is None:
+                        label = next_label
+                        codes[key] = label
+                        next_label += 1
+                row_index = first_new + offset
+                matrix[row_index, j] = label
+                if label == len(members):
+                    members.append([row_index])
+                    continue
+                group = members[label]
+                group.append(row_index)
+                if len(group) == 2:
+                    multi[label] = group[0]
+                    self.grouped[j] += 2
+                else:
+                    self.grouped[j] += 1
+                cache.pop(label, None)
+                touched_multi[label] = None
+            self.next_labels[j] = next_label
+            if self.encoded is not None:
+                column_buffer = self.encoded[j]
+                needed = dtype_for_cardinality(next_label)
+                if needed.itemsize > column_buffer.dtype.itemsize:
+                    # dtype-ladder crossing: the one sanctioned O(N)
+                    # moment, paid only when a column's cardinality
+                    # outgrows its width (at most twice per column ever).
+                    promoted = np.empty(self.capacity, dtype=needed)
+                    promoted[:first_new] = column_buffer[:first_new]
+                    promotions.append(
+                        (j, str(column_buffer.dtype), str(needed))
+                    )
+                    self.encoded[j] = column_buffer = promoted
+                column_buffer[first_new:num_rows] = matrix[
+                    first_new:num_rows, j
+                ]
+            if touched_multi:
+                partitions.append(self.materialize(j, num_rows))
+                ordered = sorted(
+                    touched_multi, key=lambda label: members[label][0]
+                )
+                touched.append(tuple(cache[label] for label in ordered))
+            else:
+                # No cluster changed shape: share the previous snapshot's
+                # cluster tuples wholesale, only num_rows moves.
+                old = snapshot.stripped[j]
+                partitions.append(
+                    StrippedPartition.from_tuples(
+                        old.clusters, num_rows, old.num_grouped_rows
+                    )
+                )
+                touched.append(())
+        self.size = num_rows
+        self.appends += 1
+        view = matrix[:num_rows]
+        view.setflags(write=False)
+        data = PreprocessedRelation(
+            relation=snapshot.relation,
+            matrix=view,
+            stripped=tuple(partitions),
+            null_equals_null=self.null_equals_null,
+        )
+        object.__setattr__(data, "_delta", self)
+        if self.encoded is not None:
+            columns: list[np.ndarray] = []
+            for j in range(num_columns):
+                column_view = self.encoded[j][:num_rows]
+                column_view.setflags(write=False)
+                columns.append(column_view)
+            object.__setattr__(
+                data,
+                "_encoded",
+                EncodedMatrix(
+                    columns=tuple(columns),
+                    cardinalities=tuple(self.next_labels),
+                    num_rows=num_rows,
+                ),
+            )
+        object.__setattr__(
+            data,
+            "_append_delta",
+            AppendDelta(
+                first_new=first_new,
+                num_new=num_new,
+                num_rows=num_rows,
+                cardinalities=tuple(self.next_labels),
+                touched=tuple(touched),
+                promotions=tuple(promotions),
+                cells_encoded=num_new * num_columns,
+            ),
+        )
+        return data
+
+
+def _bootstrap_delta(data: "PreprocessedRelation") -> _DeltaState:
+    """Reconstruct retained encoder state for a non-delta snapshot.
+
+    One O(N) pass per column — the cold-start cost that
+    ``preprocess(delta=True)`` avoids; every later append is O(batch)
+    either way.  Only snapshots built by :func:`preprocess` ever need
+    this (append-built snapshots always carry their lineage's state), so
+    ``relation.columns`` is guaranteed to match the matrix rows.
+
+    Pure: reads the snapshot only; returns fresh state.
+    """
+    num_rows = data.num_rows
+    num_columns = data.num_columns
+    state = _DeltaState(num_rows, num_columns, data.null_equals_null)
+    matrix = data.matrix
+    for j, column in enumerate(data.relation.columns):
+        labels = matrix[:, j].tolist()
+        codes: dict[Any, int] = {}
+        for value, label in zip(column, labels):
+            if value is None:
+                if data.null_equals_null:
+                    codes.setdefault(_NULL, label)
+                continue
+            codes.setdefault(value, label)
+        next_label = (int(max(labels)) + 1) if labels else 0
+        state.adopt_column(j, labels, codes, next_label)
+    state.matrix = np.array(matrix, dtype=np.int64)
+    state.capacity = num_rows
+    state.size = num_rows
+    return state
+
+
+@dataclass(frozen=True)
 class PreprocessedRelation:
     """Label matrix plus per-attribute stripped partitions.
 
     ``matrix[i, j]`` is the dense label of tuple ``i`` on attribute ``j``;
     labels of different attributes are independent namespaces and may
     repeat (Example 5).
+
+    Snapshots grown by :meth:`append_rows` keep ``relation`` pointing at
+    the cold-start schema snapshot — row counts always come from the
+    matrix (``num_rows``), never from ``relation``.
     """
 
     relation: Relation
@@ -179,6 +507,16 @@ class PreprocessedRelation:
         """Number of distinct labels in ``column``."""
         if self.num_rows == 0:
             return 0
+        encoded = self.__dict__.get("_encoded")
+        if encoded is not None:
+            # labels are dense, so the encoding's bookkeeping answers in
+            # O(1) what the matrix scan below answers in O(rows)
+            return encoded.cardinalities[column]
+        state = self.__dict__.get("_delta")
+        if state is not None and state.size == self.num_rows:
+            # newest snapshot of an append lineage: the encoder state
+            # knows the next label, i.e. the distinct count, in O(1)
+            return state.next_labels[column]
         return int(self.matrix[:, column].max()) + 1
 
     def agree_mask(self, row_a: int, row_b: int) -> int:
@@ -235,6 +573,50 @@ class PreprocessedRelation:
             cached = encode_matrix(self.matrix)
             object.__setattr__(self, "_encoded", cached)
         return cached
+
+    @property
+    def append_delta(self) -> "AppendDelta | None":
+        """The :class:`AppendDelta` that produced this snapshot, if any.
+
+        ``None`` for cold-start snapshots built by :func:`preprocess`.
+        """
+        return self.__dict__.get("_append_delta")
+
+    def append_rows(
+        self, rows: "list[tuple[Any, ...]]"
+    ) -> "PreprocessedRelation":
+        """O(batch) append: the next snapshot, sharing this one's buffers.
+
+        Extends the label dictionaries, the label matrix, the columnar
+        encoding (when already materialized on this snapshot) and the
+        stripped partitions with the new rows — never re-encoding
+        existing ones.  The returned snapshot's :attr:`append_delta`
+        describes what changed; ``self`` stays valid as a read-only view
+        of the pre-append prefix, but becomes *stale*: appends are
+        linear, and only the lineage's newest snapshot may grow again.
+        A snapshot preprocessed without ``delta=True`` pays a one-time
+        O(N) state bootstrap here; steady-state appends are O(batch)
+        plus pointer-level cluster relisting either way.
+
+        Mutates: self
+        """
+        num_columns = self.num_columns
+        for row in rows:
+            if len(row) != num_columns:
+                raise ValueError(
+                    f"row arity {len(row)} != schema width {num_columns}"
+                )
+        state = self.__dict__.get("_delta")
+        if state is None:
+            state = _bootstrap_delta(self)
+            object.__setattr__(self, "_delta", state)
+        if state.size != self.num_rows:
+            raise ValueError(
+                "append_rows on a stale snapshot: only the newest snapshot "
+                f"of an append lineage may grow (this one has "
+                f"{self.num_rows} rows, the lineage is at {state.size})"
+            )
+        return state.append_batch(self, rows)
 
 
 def packed_agree_masks(equal: np.ndarray) -> list[int]:
@@ -308,13 +690,21 @@ def distinct_agree_masks_range(
     return list(seen)
 
 
-def preprocess(relation: Relation, null_equals_null: bool = True) -> PreprocessedRelation:
+def preprocess(
+    relation: Relation, null_equals_null: bool = True, delta: bool = False
+) -> PreprocessedRelation:
     """Run the preprocessing module on ``relation``.
 
     ``null_equals_null`` selects NULL semantics: when True (the classic
     FD-discovery convention, used by Tane and HyFD) all NULLs of a column
     share one label; when False every NULL receives a fresh label and
     never agrees with anything, including another NULL.
+
+    ``delta=True`` retains the per-column encoder dictionaries and group
+    membership lists so that :meth:`PreprocessedRelation.append_rows`
+    runs at O(batch) from the first append.  Without it the first append
+    pays a one-time O(N) bootstrap to reconstruct that state; either way
+    no append ever re-encodes already-encoded rows.
     """
     num_rows = relation.num_rows
     num_columns = relation.num_columns
@@ -322,21 +712,43 @@ def preprocess(relation: Relation, null_equals_null: bool = True) -> Preprocesse
         raise ValueError("cannot preprocess a relation without columns")
     matrix = np.empty((num_rows, num_columns), dtype=np.int64)
     partitions = []
+    state = _DeltaState(num_rows, num_columns, null_equals_null) if delta else None
     for j, column in enumerate(relation.columns):
-        labels = _encode_column(column, null_equals_null)
+        labels, codes, next_label = _encode_column(column, null_equals_null)
         matrix[:, j] = labels
-        partitions.append(partition_from_labels(labels, num_rows))
-    matrix.setflags(write=False)
-    return PreprocessedRelation(
+        if state is None:
+            partitions.append(partition_from_labels(labels, num_rows))
+        else:
+            state.adopt_column(j, labels, codes, next_label)
+            partitions.append(state.materialize(j, num_rows))
+    if state is not None:
+        state.matrix = matrix
+        state.capacity = num_rows
+        state.size = num_rows
+    view = matrix[:num_rows] if state is not None else matrix
+    view.setflags(write=False)
+    data = PreprocessedRelation(
         relation=relation,
-        matrix=matrix,
+        matrix=view,
         stripped=tuple(partitions),
         null_equals_null=null_equals_null,
     )
+    if state is not None:
+        object.__setattr__(data, "_delta", state)
+    return data
 
 
-def _encode_column(column: tuple[Any, ...], null_equals_null: bool) -> list[int]:
-    """Assign dense labels in first-occurrence order (deterministic)."""
+def _encode_column(
+    column: tuple[Any, ...], null_equals_null: bool
+) -> tuple[list[int], dict[Any, int], int]:
+    """Assign dense labels in first-occurrence order (deterministic).
+
+    Returns ``(labels, codes, next_label)`` — the encoder's dictionary
+    and high-water mark come back alongside the labels so the delta path
+    can retain them and keep encoding future appends at O(batch).
+
+    Pure: reads the column only; returns fresh state.
+    """
     codes: dict[Any, int] = {}
     labels = []
     next_label = 0
@@ -356,4 +768,4 @@ def _encode_column(column: tuple[Any, ...], null_equals_null: bool) -> list[int]
             codes[key] = label
             next_label += 1
         labels.append(label)
-    return labels
+    return labels, codes, next_label

@@ -1,0 +1,17 @@
+"""RPR114 clean variant: the delta engine's O(batch) append idioms.
+
+Streaming consumers read the execution context's delta-maintained
+snapshot and push change batches through ``append_rows``; no full
+re-encode appears anywhere on the path.
+"""
+
+from __future__ import annotations
+
+
+def warm_snapshot(context) -> object:
+    return context.data
+
+
+def ingest_batch(context, batch: list) -> object:
+    delta = context.append_rows(batch)
+    return delta

@@ -1,0 +1,7 @@
+"""RPR114 suppressed variant: inline disable silences the re-encode."""
+
+from __future__ import annotations
+
+
+def sanctioned_cold_start(relation, encoder) -> object:
+    return encoder.preprocess(relation)  # repro-lint: disable=RPR114

@@ -47,6 +47,7 @@ EXPECTED_FIXTURE_RULES = {
     "core/rpr112_metric_name.py": "RPR112",
     "relation/rpr108_overflow.py": "RPR108",
     "relation/rpr113_width.py": "RPR113",
+    "core/rpr114_stream_encode.py": "RPR114",
     "engine/rpr109_leak.py": "RPR109",
     "engine/rpr110_use_after_release.py": "RPR110",
     "engine/rpr111_release_order.py": "RPR111",

@@ -117,6 +117,76 @@ class TestValidation:
         assert before == after
 
 
+class TestDeltaEquivalenceAcrossBackends:
+    """K appended batches == from-scratch discovery, on every engine.
+
+    The delta path (in-place encoding growth, partition-store deltas,
+    touched-cluster pair enumeration) must be invisible in the output:
+    identical FD sets to a cold run over the concatenated relation, for
+    every backend and for serial and process-parallel pools alike.
+    """
+
+    BACKENDS = ["numpy", "python", "columnar"]
+    JOBS = [None, "process:2"]
+
+    @pytest.mark.parametrize("jobs", JOBS)
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_batches_equal_scratch(self, backend, jobs):
+        rng = random.Random(77)
+        all_rows = [
+            tuple(rng.randint(0, 4) for _ in range(4)) for _ in range(60)
+        ]
+        base = Relation.from_rows(all_rows[:20], ["a", "b", "c", "d"])
+        session = IncrementalEulerFD(
+            base, exhaustive_base=True, jobs=jobs, backend=backend
+        )
+        cursor = 20
+        for batch_size in (7, 1, 18, 14):
+            batch = all_rows[cursor : cursor + batch_size]
+            cursor += batch_size
+            result = session.append(batch)
+            scratch = BruteForce().discover(
+                Relation.from_rows(all_rows[:cursor], ["a", "b", "c", "d"])
+            )
+            assert result.fds == scratch.fds, (backend, jobs, cursor)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_dtype_promotion_batch(self, backend):
+        """A batch pushing a column across the u8/u16 ladder stays exact."""
+        rng = random.Random(5)
+        base_rows = [
+            (value, value % 7, rng.randint(0, 2)) for value in range(250)
+        ]
+        batch = [
+            (value, value % 7, rng.randint(0, 2))
+            for value in range(250, 300)
+        ]
+        session = IncrementalEulerFD(
+            Relation.from_rows(base_rows, ["a", "b", "c"]),
+            exhaustive_base=True,
+            backend=backend,
+        )
+        result = session.append(batch)
+        if backend == "columnar":
+            encoded = session.context.data.encoded
+            assert encoded is not None
+            assert encoded.columns[0].dtype.itemsize >= 2
+        scratch = BruteForce().discover(
+            Relation.from_rows(base_rows + batch, ["a", "b", "c"])
+        )
+        assert result.fds == scratch.fds
+
+    def test_result_diff_reports_retractions(self):
+        base = Relation.from_rows(rows_of((1, "a"), (2, "b")), ["x", "y"])
+        session = IncrementalEulerFD(base, exhaustive_base=True)
+        before = session.current_result()
+        after = session.append(rows_of((1, "z")))
+        diff = after.diff(before)
+        assert FD.of([0], 1) in diff.retracted
+        assert after.stats["fds_retracted"] >= 1
+        assert all(fd in after.fds for fd in diff.added)
+
+
 class TestPropertyExactMaintenance:
     @given(
         st.lists(
